@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper-reproduction tables recorded in
+// EXPERIMENTS.md. Each experiment (E1–E13, see DESIGN.md) reproduces one
+// theorem or figure of "Discovery through Gossip" (SPAA 2012).
+//
+// Examples:
+//
+//	experiments -run all                 # everything, full scale
+//	experiments -run E7,E8               # just Theorem 15 and Figure 1(c)
+//	experiments -run E1 -scale 0.5       # truncated size ladder
+//	experiments -run E5 -csv             # CSV for plotting
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gossipdisc/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
+		seed   = flag.Uint64("seed", 0, "root seed (0 = library default)")
+		trials = flag.Int("trials", 0, "per-point trial override (0 = experiment default)")
+		scale  = flag.Float64("scale", 1, "sweep-size scale factor in (0, 1]")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		if !*csv {
+			fmt.Printf("=== %s — %s\n    reproduces: %s\n\n", e.ID, e.Title, e.Paper)
+		}
+		var out io.Writer = os.Stdout
+		var file *os.File
+		if *outDir != "" {
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			var err error
+			file, err = os.Create(filepath.Join(*outDir, e.ID+ext))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			out = io.MultiWriter(os.Stdout, file)
+		}
+		if err := e.Run(cfg, out); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !*csv {
+			fmt.Printf("    (%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command gossipsim runs a single gossip discovery process on a chosen
+// workload and reports convergence statistics and (optionally) the
+// minimum-degree trajectory.
+//
+// Examples:
+//
+//	gossipsim -process push -family cycle -n 256
+//	gossipsim -process pull -family randtree -n 128 -trials 20
+//	gossipsim -process directed -dfamily thm15 -n 64
+//	gossipsim -process push -family path -n 64 -trace 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/metrics"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stats"
+	"gossipdisc/internal/trace"
+)
+
+func main() {
+	var (
+		process  = flag.String("process", "push", "process: push | pull | push-pull | directed")
+		family   = flag.String("family", "cycle", "undirected workload family (see -list)")
+		dfamily  = flag.String("dfamily", "strong-random", "directed workload family (see -list)")
+		n        = flag.Int("n", 64, "number of nodes")
+		trials   = flag.Int("trials", 1, "independent trials")
+		seed     = flag.Uint64("seed", 1, "root seed")
+		mode     = flag.String("mode", "sync", "scheduler: sync | eager | async")
+		traceAt  = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off)")
+		failProb = flag.Float64("fail", 0, "connection failure probability (0..1)")
+		list     = flag.Bool("list", false, "list workload families and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("undirected families:", gen.FamilyNames())
+		fmt.Print("directed families:  ")
+		for _, f := range gen.DirectedFamilies() {
+			fmt.Print(f.Name, " ")
+		}
+		fmt.Println()
+		return
+	}
+
+	commit := sim.CommitSynchronous
+	async := false
+	switch *mode {
+	case "sync":
+	case "eager":
+		commit = sim.CommitEager
+	case "async":
+		async = true
+	default:
+		fatalf("unknown -mode %q (want sync, eager or async)", *mode)
+	}
+
+	if *process == "directed" {
+		if async {
+			fatalf("-mode async is only implemented for undirected processes")
+		}
+		runDirected(*dfamily, *n, *trials, *seed, commit)
+		return
+	}
+
+	var proc core.Process
+	switch *process {
+	case "push":
+		proc = core.Push{}
+	case "pull":
+		proc = core.Pull{}
+	case "push-pull":
+		proc = core.PushPull{}
+	default:
+		fatalf("unknown -process %q (want push, pull, push-pull or directed)", *process)
+	}
+	if *failProb > 0 {
+		proc = core.Faulty{Inner: proc, FailProb: *failProb}
+	}
+
+	fam, err := gen.FamilyByName(*family)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *n < fam.MinN {
+		fatalf("family %q needs n >= %d", fam.Name, fam.MinN)
+	}
+
+	root := rng.New(*seed)
+	modeName := *mode
+	tbl := trace.NewTable(
+		fmt.Sprintf("%s on %s, n=%d, mode=%s", proc.Name(), fam.Name, *n, modeName),
+		"trial", "rounds", "proposals", "new edges", "duplicates")
+	var rounds []float64
+	for t := 0; t < *trials; t++ {
+		r := root.Split()
+		g := fam.Generate(*n, r)
+		if async {
+			res := sim.RunAsync(g, proc, r, sim.AsyncConfig{})
+			if !res.Converged {
+				fatalf("trial %d did not converge within %d ticks", t, res.Ticks)
+			}
+			rounds = append(rounds, res.ParallelRounds)
+			tbl.AddRow(trace.I(t), trace.F(res.ParallelRounds, 1),
+				trace.I(res.Proposals), trace.I(res.NewEdges),
+				trace.I(res.Proposals-res.NewEdges))
+			continue
+		}
+		cfg := sim.Config{Mode: commit}
+		if *traceAt > 0 && t == 0 {
+			traj := &metrics.Trajectory{Every: *traceAt}
+			cfg.Observer = traj.Observe
+			defer func(traj *metrics.Trajectory) {
+				tt := trace.NewTable("min-degree trajectory (trial 0)",
+					"round", "min deg", "max deg", "edges", "missing")
+				for _, s := range traj.Snapshots {
+					tt.AddRow(trace.I(s.Round), trace.I(s.MinDegree),
+						trace.I(s.MaxDegree), trace.I(s.Edges), trace.I(s.Missing))
+				}
+				tt.Render(os.Stdout)
+			}(traj)
+		}
+		res := sim.Run(g, proc, r, cfg)
+		if !res.Converged {
+			fatalf("trial %d did not converge within %d rounds", t, res.Rounds)
+		}
+		rounds = append(rounds, float64(res.Rounds))
+		tbl.AddRow(trace.I(t), trace.I(res.Rounds), trace.I(res.Proposals),
+			trace.I(res.NewEdges), trace.I(res.DuplicateProposals))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+	sum := stats.Summarize(rounds)
+	fn := float64(*n)
+	fmt.Printf("\nrounds: %s   rounds/(n ln n)=%.3f   rounds/(n ln² n)=%.3f\n",
+		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
+}
+
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode) {
+	fam, err := gen.DirectedFamilyByName(family)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if n < fam.MinN {
+		fatalf("directed family %q needs n >= %d", fam.Name, fam.MinN)
+	}
+	root := rng.New(seed)
+	tbl := trace.NewTable(
+		fmt.Sprintf("directed-two-hop on %s, n=%d, mode=%s", fam.Name, n, commit),
+		"trial", "rounds", "target arcs", "new arcs")
+	var rounds []float64
+	for t := 0; t < trials; t++ {
+		r := root.Split()
+		var g *graph.Directed = fam.Generate(n, r)
+		res := sim.RunDirected(g, core.DirectedTwoHop{}, r, sim.DirectedConfig{Mode: commit})
+		if !res.Converged {
+			fatalf("trial %d did not converge", t)
+		}
+		rounds = append(rounds, float64(res.Rounds))
+		tbl.AddRow(trace.I(t), trace.I(res.Rounds), trace.I(res.TargetArcs), trace.I(res.NewArcs))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+	sum := stats.Summarize(rounds)
+	fn := float64(n)
+	fmt.Printf("\nrounds: %s   rounds/n²=%.4f   rounds/(n² ln n)=%.4f\n",
+		sum, sum.Mean/stats.N2(fn), sum.Mean/stats.N2LogN(fn))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gossipsim: "+format+"\n", args...)
+	os.Exit(1)
+}

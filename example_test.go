@@ -1,0 +1,76 @@
+package gossipdisc_test
+
+// Runnable godoc examples for the public API. Outputs are deterministic
+// because every entry point takes an explicit seed.
+
+import (
+	"fmt"
+
+	"gossipdisc"
+)
+
+// ExampleRunPush runs the triangulation process on a small path graph.
+func ExampleRunPush() {
+	g := gossipdisc.Path(8)
+	res := gossipdisc.RunPush(g, 1)
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("complete:", g.IsComplete())
+	fmt.Println("new edges:", res.NewEdges)
+	// Output:
+	// converged: true
+	// complete: true
+	// new edges: 21
+}
+
+// ExampleExactExpectedRounds computes an exact expectation on a tiny graph.
+func ExampleExactExpectedRounds() {
+	// On the 3-node path only the middle node can act, succeeding with
+	// probability 1/2 per round: the expected time is exactly 2.
+	fmt.Printf("%.4f\n", gossipdisc.ExactExpectedRounds(gossipdisc.Path(3), "push"))
+	fmt.Printf("%.4f\n", gossipdisc.ExactExpectedRounds(gossipdisc.Path(3), "pull"))
+	// Output:
+	// 2.0000
+	// 1.3333
+}
+
+// ExampleRunDirected terminates the directed two-hop walk at the
+// transitive closure.
+func ExampleRunDirected() {
+	g := gossipdisc.DirectedCycle(6)
+	res := gossipdisc.RunDirected(g, 7)
+	fmt.Println("closed:", g.IsClosed())
+	fmt.Println("target arcs:", res.TargetArcs)
+	// Output:
+	// closed: true
+	// target arcs: 30
+}
+
+// ExampleTrials runs deterministic parallel trials.
+func ExampleTrials() {
+	results := gossipdisc.Trials(3, 42, func(trial int, r *gossipdisc.Rand) *gossipdisc.Graph {
+		return gossipdisc.Cycle(12)
+	}, gossipdisc.Push{})
+	for i, res := range results {
+		fmt.Printf("trial %d converged: %v\n", i, res.Converged)
+	}
+	// Output:
+	// trial 0 converged: true
+	// trial 1 converged: true
+	// trial 2 converged: true
+}
+
+// ExampleRunWithConfig stops a run at a custom condition: a minimum degree
+// target rather than completeness.
+func ExampleRunWithConfig() {
+	g := gossipdisc.Path(16)
+	res := gossipdisc.RunWithConfig(g, gossipdisc.Pull{}, 5, gossipdisc.Config{
+		Done: func(g *gossipdisc.Graph) bool { return g.MinDegree() >= 3 },
+	})
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("min degree >= 3:", g.MinDegree() >= 3)
+	fmt.Println("still incomplete:", !g.IsComplete())
+	// Output:
+	// converged: true
+	// min degree >= 3: true
+	// still incomplete: true
+}

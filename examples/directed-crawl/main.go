@@ -1,0 +1,73 @@
+// Directed discovery: why edge direction hurts (Section 5).
+//
+// On undirected graphs gossip discovery needs Õ(n) rounds; on directed
+// graphs the two-hop walk can need Θ(n²). This example runs the directed
+// two-hop walk on three workloads — the directed cycle, random strongly
+// connected digraphs, and the paper's Theorem 15 construction (Figures
+// 3–4) — and prints rounds normalized by n², making the Ω(n²) behavior of
+// the lower-bound construction visible next to the easier instances.
+//
+//	go run ./examples/directed-crawl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stats"
+	"gossipdisc/internal/trace"
+)
+
+func main() {
+	const trials = 6
+	root := rng.New(99)
+
+	families := []struct {
+		name  string
+		build func(n int, r *rng.Rand) *graph.Directed
+	}{
+		{"directed cycle", func(n int, r *rng.Rand) *graph.Directed { return gen.DirectedCycle(n) }},
+		{"random strongly connected", func(n int, r *rng.Rand) *graph.Directed {
+			return gen.RandomStronglyConnected(n, n/2, r)
+		}},
+		{"Thm 15 construction (Fig 3-4)", func(n int, r *rng.Rand) *graph.Directed {
+			return gen.Thm15StrongLowerBound(n)
+		}},
+	}
+
+	tbl := trace.NewTable(
+		fmt.Sprintf("directed two-hop walk: rounds to transitive closure (%d trials)", trials),
+		"workload", "n", "mean rounds", "rounds/n²")
+	for _, fam := range families {
+		for _, n := range []int{16, 32, 64} {
+			var rounds []float64
+			for t := 0; t < trials; t++ {
+				r := root.Split()
+				g := fam.build(n, r)
+				res := sim.RunDirected(g, core.DirectedTwoHop{}, r, sim.DirectedConfig{})
+				if !res.Converged {
+					fmt.Fprintln(os.Stderr, "directed run did not converge")
+					os.Exit(1)
+				}
+				rounds = append(rounds, float64(res.Rounds))
+			}
+			sum := stats.Summarize(rounds)
+			tbl.AddRow(fam.name, trace.I(n), trace.F(sum.Mean, 1),
+				trace.F(sum.Mean/float64(n*n), 4))
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nnote how rounds/n² stays roughly constant on the Theorem 15 graph")
+	fmt.Println("(the Ω(n²) bound is tight there) while random strongly connected")
+	fmt.Println("digraphs get *relatively* easier as n grows — directionality, not")
+	fmt.Println("size, is what makes discovery expensive.")
+}

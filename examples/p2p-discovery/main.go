@@ -1,0 +1,62 @@
+// P2P resource discovery: the paper's first motivating application.
+//
+// A peer-to-peer overlay starts as a sparse random graph in which each host
+// knows only a few IP addresses. Every host runs the push gossip protocol —
+// real O(log n)-bit INTRODUCE messages over a simulated network with one
+// goroutine per host — until every host has discovered every other host's
+// address. We then repeat the run over increasingly lossy networks to show
+// the protocol's natural fault tolerance.
+//
+//	go run ./examples/p2p-discovery
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/netsim"
+	"gossipdisc/internal/protocol"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/trace"
+)
+
+func main() {
+	const n = 96
+	r := rng.New(7)
+
+	fmt.Printf("bootstrapping a %d-host overlay (each host knows ~3 peers)...\n\n", n)
+
+	tbl := trace.NewTable("push protocol resource discovery under packet loss",
+		"drop rate", "rounds", "messages", "ID payload (Kbit)", "bits/msg")
+	for _, drop := range []float64{0, 0.1, 0.25, 0.5} {
+		overlay := gen.ConnectedER(n, 3.0/float64(n), r.Split())
+		cluster := protocol.NewCluster(overlay, protocol.ProtoPush, netsim.Config{
+			Seed:     uint64(100 + int(drop*100)),
+			DropProb: drop,
+		})
+		rounds, done := cluster.Run(sim.DefaultMaxRounds(n) * 2)
+		if !done {
+			fmt.Fprintf(os.Stderr, "discovery did not complete at drop=%.2f\n", drop)
+			os.Exit(1)
+		}
+		st := cluster.Net.Stats()
+		tbl.AddRow(
+			trace.F(drop, 2),
+			trace.I(rounds),
+			trace.I64(st.Sent),
+			trace.F(float64(st.IDBits)/1e3, 1),
+			trace.F(float64(st.IDBits)/float64(st.Sent), 2),
+		)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nevery message carried at most one ⌈lg n⌉-bit address — the")
+	fmt.Println("paper's bandwidth model — yet discovery completed even at 50% loss,")
+	fmt.Println("merely stretching the round count. Name-Dropper-style protocols ship")
+	fmt.Println("entire neighbor lists per message; see experiment E11 for that trade.")
+}

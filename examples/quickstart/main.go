@@ -1,0 +1,39 @@
+// Quickstart: run both discovery processes on a 64-node cycle and watch
+// them converge to the complete graph.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"gossipdisc"
+)
+
+func main() {
+	const n = 64
+
+	// Push discovery (triangulation): every round, every node introduces
+	// two random neighbors to each other.
+	g := gossipdisc.Cycle(n)
+	res := gossipdisc.RunPush(g, 42)
+	fmt.Printf("push: %d-node cycle became complete after %d rounds (%d introductions, %d of them redundant)\n",
+		n, res.Rounds, res.Proposals, res.DuplicateProposals)
+
+	// Pull discovery (two-hop walk): every round, every node pulls a random
+	// contact of a random neighbor.
+	h := gossipdisc.Cycle(n)
+	res = gossipdisc.RunPull(h, 42)
+	fmt.Printf("pull: %d-node cycle became complete after %d rounds\n", n, res.Rounds)
+
+	// The paper's Theorem 8/12 bound is O(n log² n); normalize to see it.
+	lnN := math.Log(float64(n))
+	fmt.Printf("for scale: n·ln²n = %.0f\n", float64(n)*lnN*lnN)
+
+	// For tiny graphs the library can compute expected times *exactly*
+	// (absorbing Markov chain over edge subsets).
+	p3 := gossipdisc.Path(3)
+	fmt.Printf("exact: E[rounds] for push on the 3-path = %.4f (theory: 2)\n",
+		gossipdisc.ExactExpectedRounds(p3, "push"))
+}

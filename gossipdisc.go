@@ -1,0 +1,176 @@
+// Package gossipdisc is a faithful, production-quality implementation and
+// experimental reproduction of the gossip-based discovery processes of
+//
+//	"Discovery through Gossip"
+//	B. Haeupler, G. Pandurangan, D. Peleg, R. Rajaraman, Z. Sun
+//	SPAA 2012 (arXiv:1202.2092)
+//
+// The paper studies two lightweight randomized processes that let every
+// node of a connected network discover every other node using only
+// O(log n)-bit messages:
+//
+//   - Push discovery (triangulation): each round, every node introduces two
+//     uniformly random neighbors to one another.
+//   - Pull discovery (two-hop walk): each round, every node takes a two-hop
+//     random walk and connects to the endpoint.
+//
+// Both converge to the complete graph in O(n log² n) rounds w.h.p. on any
+// connected undirected graph (Theorems 8 and 12), with an Ω(n log k) lower
+// bound (Theorems 9 and 13). On directed graphs the two-hop walk reaches
+// the transitive closure in O(n² log n) rounds (Theorem 14), with Ω(n²)
+// for an explicit strongly connected instance (Theorem 15).
+//
+// This root package is the stable public surface: it re-exports the graph
+// substrate, the processes, the round engine, the exact Markov-chain solver
+// for small graphs, and the registered paper experiments. The heavy lifting
+// lives in internal packages (see DESIGN.md for the system inventory).
+//
+// # Quick start
+//
+//	g := gossipdisc.Cycle(64)
+//	res := gossipdisc.RunPush(g, 42)
+//	fmt.Printf("complete after %d rounds\n", res.Rounds)
+package gossipdisc
+
+import (
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/markov"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+// Core graph types. Node identifiers are dense ints in [0, N()).
+type (
+	// Graph is a simple undirected graph tuned for the discovery
+	// processes: O(1) random neighbor sampling and O(1) edge membership.
+	Graph = graph.Undirected
+	// Digraph is the directed counterpart.
+	Digraph = graph.Directed
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Arc is a directed edge.
+	Arc = graph.Arc
+)
+
+// Process types. A Process defines the per-node action of one synchronous
+// round; the engine in Run/RunDirected owns commit semantics.
+type (
+	// Process is an undirected discovery process.
+	Process = core.Process
+	// DirectedProcess is a directed discovery process.
+	DirectedProcess = core.DirectedProcess
+	// Push is the triangulation process (Section 3).
+	Push = core.Push
+	// Pull is the two-hop walk process (Section 4).
+	Pull = core.Pull
+	// DirectedTwoHop is the directed two-hop walk (Section 5).
+	DirectedTwoHop = core.DirectedTwoHop
+	// Faulty drops each proposed connection with a fixed probability.
+	Faulty = core.Faulty
+	// Partial gates each node's per-round participation.
+	Partial = core.Partial
+)
+
+// Engine types.
+type (
+	// Config controls a single undirected run.
+	Config = sim.Config
+	// Result reports an undirected run.
+	Result = sim.Result
+	// DirectedConfig controls a directed run.
+	DirectedConfig = sim.DirectedConfig
+	// DirectedResult reports a directed run.
+	DirectedResult = sim.DirectedResult
+	// Rand is the deterministic generator used throughout.
+	Rand = rng.Rand
+)
+
+// Commit semantics (see DESIGN.md "Synchronous commit semantics").
+const (
+	// CommitSynchronous buffers a round's proposals and commits them
+	// together — the paper's G_t → G_{t+1} model. This is the default.
+	CommitSynchronous = sim.CommitSynchronous
+	// CommitEager applies proposals immediately (ablation).
+	CommitEager = sim.CommitEager
+)
+
+// NewGraph returns an empty undirected graph on n nodes.
+func NewGraph(n int) *Graph { return graph.NewUndirected(n) }
+
+// NewDigraph returns an empty directed graph on n nodes.
+func NewDigraph(n int) *Digraph { return graph.NewDirected(n) }
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Common workload constructors, re-exported from the full generator set in
+// internal/gen (the CLI exposes every family; these cover the README).
+var (
+	// Path returns the n-node path graph.
+	Path = gen.Path
+	// Cycle returns the n-node cycle.
+	Cycle = gen.Cycle
+	// Star returns the n-node star.
+	Star = gen.Star
+	// Complete returns K_n.
+	Complete = gen.Complete
+	// RandomTree returns a random spanning-tree workload.
+	RandomTree = gen.RandomTree
+	// ConnectedER returns a connected Erdős–Rényi sample.
+	ConnectedER = gen.ConnectedER
+	// DirectedCycle returns the directed n-cycle.
+	DirectedCycle = gen.DirectedCycle
+	// Thm15Graph returns the strongly connected Ω(n²) construction of
+	// Theorem 15 (Figures 3–4).
+	Thm15Graph = gen.Thm15StrongLowerBound
+)
+
+// Run executes process p on g (mutating it) until g is complete, using the
+// paper's synchronous-round semantics, and returns the run statistics.
+func Run(g *Graph, p Process, seed uint64) Result {
+	return sim.Run(g, p, rng.New(seed), sim.Config{})
+}
+
+// RunWithConfig is Run with full engine control.
+func RunWithConfig(g *Graph, p Process, seed uint64, cfg Config) Result {
+	return sim.Run(g, p, rng.New(seed), cfg)
+}
+
+// RunPush runs the push (triangulation) process to completion.
+func RunPush(g *Graph, seed uint64) Result { return Run(g, core.Push{}, seed) }
+
+// RunPull runs the pull (two-hop walk) process to completion.
+func RunPull(g *Graph, seed uint64) Result { return Run(g, core.Pull{}, seed) }
+
+// RunDirected executes the directed two-hop walk on g until it contains the
+// transitive closure of the initial graph.
+func RunDirected(g *Digraph, seed uint64) DirectedResult {
+	return sim.RunDirected(g, core.DirectedTwoHop{}, rng.New(seed), sim.DirectedConfig{})
+}
+
+// RunDirectedWithConfig is RunDirected with full engine control.
+func RunDirectedWithConfig(g *Digraph, p DirectedProcess, seed uint64, cfg DirectedConfig) DirectedResult {
+	return sim.RunDirected(g, p, rng.New(seed), cfg)
+}
+
+// Trials runs numTrials independent deterministic trials of p in parallel;
+// build receives the trial index and a trial-private generator.
+func Trials(numTrials int, seed uint64, build func(trial int, r *Rand) *Graph, p Process) []Result {
+	return sim.Trials(numTrials, seed, build, p, sim.Config{})
+}
+
+// ExactExpectedRounds returns the exact expected number of rounds for the
+// push or pull process (kernel "push" or "pull") to complete a small
+// connected graph (n ≤ 5), computed by the absorbing-Markov-chain solver.
+func ExactExpectedRounds(g *Graph, kernel string) float64 {
+	switch kernel {
+	case "push":
+		return markov.ExpectedTime(g, markov.PushKernel{})
+	case "pull":
+		return markov.ExpectedTime(g, markov.PullKernel{})
+	default:
+		panic("gossipdisc: kernel must be \"push\" or \"pull\"")
+	}
+}

@@ -1,0 +1,140 @@
+package gossipdisc_test
+
+import (
+	"math"
+	"testing"
+
+	"gossipdisc"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := gossipdisc.Cycle(32)
+	res := gossipdisc.RunPush(g, 42)
+	if !res.Converged {
+		t.Fatalf("push did not converge: %+v", res)
+	}
+	if !g.IsComplete() {
+		t.Fatal("graph not complete")
+	}
+}
+
+func TestRunPullFacade(t *testing.T) {
+	g := gossipdisc.Path(20)
+	res := gossipdisc.RunPull(g, 7)
+	if !res.Converged || !g.IsComplete() {
+		t.Fatalf("pull facade failed: %+v", res)
+	}
+}
+
+func TestRunWithConfigCustomDone(t *testing.T) {
+	g := gossipdisc.Path(20)
+	res := gossipdisc.RunWithConfig(g, gossipdisc.Push{}, 1, gossipdisc.Config{
+		Done: func(g *gossipdisc.Graph) bool { return g.MinDegree() >= 4 },
+	})
+	if !res.Converged || g.MinDegree() < 4 {
+		t.Fatalf("custom done failed: %+v", res)
+	}
+}
+
+func TestDirectedFacade(t *testing.T) {
+	g := gossipdisc.DirectedCycle(10)
+	res := gossipdisc.RunDirected(g, 3)
+	if !res.Converged || !g.IsClosed() {
+		t.Fatalf("directed facade failed: %+v", res)
+	}
+	if res.TargetArcs != 10*9 {
+		t.Fatalf("target arcs %d", res.TargetArcs)
+	}
+}
+
+func TestThm15GraphExported(t *testing.T) {
+	g := gossipdisc.Thm15Graph(12)
+	if !g.IsStronglyConnected() {
+		t.Fatal("Thm15 graph not strongly connected")
+	}
+	res := gossipdisc.RunDirectedWithConfig(g, gossipdisc.DirectedTwoHop{}, 5,
+		gossipdisc.DirectedConfig{})
+	if !res.Converged {
+		t.Fatalf("Thm15 run did not converge: %+v", res)
+	}
+}
+
+func TestTrialsFacade(t *testing.T) {
+	results := gossipdisc.Trials(6, 9, func(trial int, r *gossipdisc.Rand) *gossipdisc.Graph {
+		return gossipdisc.RandomTree(16, r)
+	}, gossipdisc.Push{})
+	if len(results) != 6 {
+		t.Fatalf("trial count %d", len(results))
+	}
+	for i, res := range results {
+		if !res.Converged {
+			t.Fatalf("trial %d did not converge", i)
+		}
+	}
+}
+
+func TestExactExpectedRounds(t *testing.T) {
+	// Path P3 under push: exactly 2 expected rounds (see internal/markov).
+	got := gossipdisc.ExactExpectedRounds(gossipdisc.Path(3), "push")
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("exact push P3 = %v want 2", got)
+	}
+	got = gossipdisc.ExactExpectedRounds(gossipdisc.Path(3), "pull")
+	if math.Abs(got-4.0/3) > 1e-9 {
+		t.Fatalf("exact pull P3 = %v want 4/3", got)
+	}
+}
+
+func TestExactExpectedRoundsBadKernel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gossipdisc.ExactExpectedRounds(gossipdisc.Path(3), "flood")
+}
+
+func TestGraphConstructors(t *testing.T) {
+	if gossipdisc.NewGraph(5).N() != 5 {
+		t.Fatal("NewGraph wrong")
+	}
+	if gossipdisc.NewDigraph(5).N() != 5 {
+		t.Fatal("NewDigraph wrong")
+	}
+	if gossipdisc.Complete(4).MissingEdges() != 0 {
+		t.Fatal("Complete wrong")
+	}
+	if gossipdisc.Star(5).Degree(0) != 4 {
+		t.Fatal("Star wrong")
+	}
+	r := gossipdisc.NewRand(1)
+	if g := gossipdisc.ConnectedER(20, 0.2, r); !g.IsConnected() {
+		t.Fatal("ConnectedER wrong")
+	}
+}
+
+func TestFaultyAndPartialExported(t *testing.T) {
+	g := gossipdisc.Cycle(16)
+	res := gossipdisc.Run(g, gossipdisc.Faulty{Inner: gossipdisc.Push{}, FailProb: 0.2}, 11)
+	if !res.Converged {
+		t.Fatal("faulty push did not converge")
+	}
+	h := gossipdisc.Cycle(16)
+	res = gossipdisc.Run(h, gossipdisc.Partial{Inner: gossipdisc.Pull{}, Participation: 0.5}, 12)
+	if !res.Converged {
+		t.Fatal("partial pull did not converge")
+	}
+}
+
+func TestCommitModesExported(t *testing.T) {
+	g := gossipdisc.Path(12)
+	res := gossipdisc.RunWithConfig(g, gossipdisc.Push{}, 13, gossipdisc.Config{
+		Mode: gossipdisc.CommitEager,
+	})
+	if !res.Converged {
+		t.Fatal("eager mode did not converge")
+	}
+	if gossipdisc.CommitSynchronous.String() != "sync" {
+		t.Fatal("commit mode aliasing broken")
+	}
+}

@@ -1,0 +1,226 @@
+// Package bitset implements a dense, fixed-capacity bitset.
+//
+// The simulators use bitsets for reachability and transitive-closure
+// computations on directed graphs, where an n×n boolean matrix stored as n
+// bitsets supports the union-heavy inner loops of BFS-based closure with
+// word-level parallelism.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Len()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set with capacity for n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity (universe size) of the set.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (s *Set) None() bool { return !s.Any() }
+
+// All reports whether all n bits are set.
+func (s *Set) All() bool { return s.Count() == s.n }
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit in [0, Len()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears any bits above the universe in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith ors other into s and reports whether s changed.
+// The sets must have equal capacity.
+func (s *Set) UnionWith(other *Set) bool {
+	s.mustMatch(other)
+	changed := false
+	for i, w := range other.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			changed = true
+			s.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// IntersectWith ands other into s.
+func (s *Set) IntersectWith(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// DifferenceWith removes other's bits from s.
+func (s *Set) DifferenceWith(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether the two sets hold exactly the same bits.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every bit of s is also set in other.
+func (s *Set) IsSubsetOf(other *Set) bool {
+	s.mustMatch(other)
+	for i := range s.words {
+		if s.words[i]&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) mustMatch(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d vs %d", s.n, other.n))
+	}
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the indices of set bits in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as a brace-delimited index list, e.g. {0 3 9}.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

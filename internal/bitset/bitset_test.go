@@ -1,0 +1,261 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	if s.Any() {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count %d want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after clear")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("count %d want 7", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Set(10) },
+		func() { s.Set(-1) },
+		func() { s.Test(10) },
+		func() { s.Clear(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFillAllReset(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("Fill(%d) count %d", n, s.Count())
+		}
+		if n > 0 && !s.All() {
+			t.Fatalf("All false after Fill(%d)", n)
+		}
+		s.Reset()
+		if !s.None() {
+			t.Fatalf("None false after Reset(%d)", n)
+		}
+	}
+}
+
+func TestFillDoesNotOverflowUniverse(t *testing.T) {
+	s := New(65)
+	s.Fill()
+	// The last word must have exactly 1 bit set.
+	if s.Count() != 65 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if s.NextSet(65) != -1 {
+		t.Fatal("found set bit beyond the universe")
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+
+	u := a.Clone()
+	if !u.UnionWith(b) {
+		t.Fatal("union reported no change")
+	}
+	if u.Count() != 3 || !u.Test(1) || !u.Test(50) || !u.Test(99) {
+		t.Fatalf("bad union %v", u)
+	}
+	if u.UnionWith(b) {
+		t.Fatal("second union reported change")
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if i.Count() != 1 || !i.Test(50) {
+		t.Fatalf("bad intersection %v", i)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if d.Count() != 1 || !d.Test(1) {
+		t.Fatalf("bad difference %v", d)
+	}
+}
+
+func TestEqualSubset(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(3)
+	b.Set(3)
+	if !a.Equal(b) {
+		t.Fatal("equal sets not Equal")
+	}
+	b.Set(69)
+	if a.Equal(b) {
+		t.Fatal("unequal sets Equal")
+	}
+	if !a.IsSubsetOf(b) {
+		t.Fatal("subset not detected")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("superset claimed to be subset")
+	}
+	c := New(71)
+	if a.Equal(c) {
+		t.Fatal("different capacity sets Equal")
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestForEachSliceOrder(t *testing.T) {
+	s := New(200)
+	want := []int{0, 5, 63, 64, 70, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("slice %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice %v want %v", got, want)
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(150)
+	s.Set(10)
+	s.Set(64)
+	s.Set(149)
+	cases := []struct{ from, want int }{
+		{0, 10}, {10, 10}, {11, 64}, {64, 64}, {65, 149}, {149, 149}, {150, -1}, {-5, 10},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Fatalf("NextSet(%d) = %d want %d", c.from, got, c.want)
+		}
+	}
+	if New(10).NextSet(0) != -1 {
+		t.Fatal("NextSet on empty set should be -1")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(7)
+	b := a.Clone()
+	b.Set(8)
+	if a.Test(8) {
+		t.Fatal("clone aliased parent storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	if s.String() != "{}" {
+		t.Fatalf("empty string %q", s.String())
+	}
+	s.Set(1)
+	s.Set(9)
+	if s.String() != "{1 9}" {
+		t.Fatalf("string %q", s.String())
+	}
+}
+
+func TestQuickUnionIsCommutativeAndMonotone(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Set(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Set(int(y) % n)
+		}
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		return ab.Equal(ba) && a.IsSubsetOf(ab) && b.IsSubsetOf(ab) &&
+			ab.Count() <= a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetTestRoundTrip(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		const n = 1024
+		s := New(n)
+		seen := map[int]bool{}
+		for _, x := range idxs {
+			i := int(x) % n
+			s.Set(i)
+			seen[i] = true
+		}
+		if s.Count() != len(seen) {
+			return false
+		}
+		for i := range seen {
+			if !s.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	a := New(4096)
+	c := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		c.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionWith(c)
+	}
+}

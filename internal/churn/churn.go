@@ -1,0 +1,192 @@
+// Package churn simulates the paper's Section 6 extension: gossip discovery
+// while nodes join and leave the network.
+//
+// A Session manages a fixed pool of node slots. Members join by wiring a
+// fresh slot to a few bootstrap contacts (the standard P2P join) and leave
+// by failing silently (fail-stop): their edges remain as *stale entries* in
+// other members' contact lists, which keep getting sampled and waste work —
+// the realistic cost of churn. Slots are never reused, so a departed
+// identity never resurrects.
+//
+// Under churn, "convergence" is no longer a one-shot event: the membership
+// the processes chase keeps moving. The natural steady-state metric is
+// coverage — the fraction of current-member pairs that know each other —
+// which experiment E14 tracks against the churn rate.
+package churn
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// Config parameterizes a churn session.
+type Config struct {
+	// Capacity is the total number of node slots. Joins beyond capacity
+	// are silently dropped (the Session never reuses slots).
+	Capacity int
+	// InitialMembers are alive at round 0, wired in a connected ring plus
+	// random chords.
+	InitialMembers int
+	// SeedDegree is how many bootstrap contacts a joiner receives.
+	SeedDegree int
+	// Rate is the expected number of churn events per round; each event
+	// removes one uniform member and admits one fresh joiner, keeping the
+	// population stationary.
+	Rate float64
+	// Pull selects the two-hop-walk process; default is push.
+	Pull bool
+}
+
+// Session is a running churn simulation.
+type Session struct {
+	cfg          Config
+	g            *graph.Undirected
+	alive        []bool
+	members      []int // alive node ids (unordered)
+	nextSlot     int
+	proc         core.Process
+	r            *rng.Rand
+	round        int
+	joinsDropped int
+}
+
+// NewSession builds a session; it panics on nonsensical configuration.
+func NewSession(cfg Config, r *rng.Rand) *Session {
+	if cfg.InitialMembers < 2 || cfg.Capacity < cfg.InitialMembers {
+		panic(fmt.Sprintf("churn: bad config %+v", cfg))
+	}
+	if cfg.SeedDegree < 1 {
+		cfg.SeedDegree = 1
+	}
+	s := &Session{
+		cfg:      cfg,
+		g:        graph.NewUndirected(cfg.Capacity),
+		alive:    make([]bool, cfg.Capacity),
+		nextSlot: cfg.InitialMembers,
+		r:        r,
+	}
+	// Initial topology: ring plus one random chord per member, connected.
+	init := gen.Cycle(cfg.InitialMembers)
+	for _, e := range init.Edges() {
+		s.g.AddEdge(e.U, e.V)
+	}
+	for u := 0; u < cfg.InitialMembers; u++ {
+		s.g.AddEdge(u, r.Intn(cfg.InitialMembers))
+		s.alive[u] = true
+		s.members = append(s.members, u)
+	}
+	if cfg.Pull {
+		s.proc = core.CrashedPull{Alive: s.alive}
+	} else {
+		s.proc = core.Crashed{Inner: core.Push{}, Alive: s.alive}
+	}
+	return s
+}
+
+// Members returns the number of current members.
+func (s *Session) Members() int { return len(s.members) }
+
+// Round returns the number of completed rounds.
+func (s *Session) Round() int { return s.round }
+
+// JoinsDropped reports joins that failed for lack of fresh slots.
+func (s *Session) JoinsDropped() int { return s.joinsDropped }
+
+// Graph exposes the underlying accumulated contact graph (read-only use).
+func (s *Session) Graph() *graph.Undirected { return s.g }
+
+// Alive reports whether slot u currently holds a member.
+func (s *Session) Alive(u int) bool { return s.alive[u] }
+
+// Step executes one synchronous round: churn events first (memberships
+// change between rounds), then one gossip round among current members.
+func (s *Session) Step() {
+	// Poissonized churn: Rate expected events, geometric-free simple loop.
+	events := 0
+	for remaining := s.cfg.Rate; remaining > 0; remaining-- {
+		p := remaining
+		if p > 1 {
+			p = 1
+		}
+		if s.r.Bernoulli(p) {
+			events++
+		}
+	}
+	for e := 0; e < events; e++ {
+		s.churnOnce()
+	}
+
+	// One synchronous gossip round among the living.
+	var buf []graph.Edge
+	n := s.g.N()
+	for u := 0; u < n; u++ {
+		if !s.alive[u] {
+			continue
+		}
+		s.proc.Act(s.g, u, s.r, func(a, b int) {
+			buf = append(buf, graph.Edge{U: a, V: b})
+		})
+	}
+	for _, e := range buf {
+		s.g.AddEdge(e.U, e.V)
+	}
+	s.round++
+}
+
+// churnOnce removes one uniform member and admits one joiner.
+func (s *Session) churnOnce() {
+	if len(s.members) <= 2 {
+		return // keep the group non-trivial
+	}
+	// Leave: fail-stop, stale edges remain.
+	i := s.r.Intn(len(s.members))
+	leaving := s.members[i]
+	s.members[i] = s.members[len(s.members)-1]
+	s.members = s.members[:len(s.members)-1]
+	s.alive[leaving] = false
+
+	// Join: fresh slot, bootstrap contacts among current members.
+	if s.nextSlot >= s.cfg.Capacity {
+		s.joinsDropped++
+		return
+	}
+	joiner := s.nextSlot
+	s.nextSlot++
+	s.alive[joiner] = true
+	for k := 0; k < s.cfg.SeedDegree; k++ {
+		s.g.AddEdge(joiner, s.members[s.r.Intn(len(s.members))])
+	}
+	s.members = append(s.members, joiner)
+}
+
+// Coverage returns the fraction of unordered current-member pairs that are
+// adjacent (1 = every member knows every member).
+func (s *Session) Coverage() float64 {
+	m := len(s.members)
+	if m < 2 {
+		return 1
+	}
+	have := 0
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if s.g.HasEdge(s.members[i], s.members[j]) {
+				have++
+			}
+		}
+	}
+	return float64(have) / float64(m*(m-1)/2)
+}
+
+// Run executes rounds steps and returns the coverage after each step.
+func (s *Session) Run(rounds int) []float64 {
+	out := make([]float64, rounds)
+	for i := 0; i < rounds; i++ {
+		s.Step()
+		out[i] = s.Coverage()
+	}
+	return out
+}

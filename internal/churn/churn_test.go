@@ -1,0 +1,167 @@
+package churn
+
+import (
+	"testing"
+
+	"gossipdisc/internal/rng"
+)
+
+func base() Config {
+	return Config{Capacity: 256, InitialMembers: 32, SeedDegree: 3, Rate: 0}
+}
+
+func TestNewSessionInitialState(t *testing.T) {
+	s := NewSession(base(), rng.New(1))
+	if s.Members() != 32 {
+		t.Fatalf("members %d", s.Members())
+	}
+	if s.Round() != 0 || s.JoinsDropped() != 0 {
+		t.Fatal("fresh session dirty")
+	}
+	for u := 0; u < 32; u++ {
+		if !s.Alive(u) {
+			t.Fatalf("initial member %d not alive", u)
+		}
+	}
+	if s.Alive(32) {
+		t.Fatal("unused slot alive")
+	}
+	// Initial members are connected among themselves.
+	living := make([]int, 32)
+	for i := range living {
+		living[i] = i
+	}
+	if !s.Graph().InducedSubgraph(living).IsConnected() {
+		t.Fatal("initial membership disconnected")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Capacity: 8, InitialMembers: 1},
+		{Capacity: 4, InitialMembers: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			NewSession(cfg, rng.New(1))
+		}()
+	}
+}
+
+func TestNoChurnReachesFullCoverage(t *testing.T) {
+	for _, pull := range []bool{false, true} {
+		cfg := base()
+		cfg.Pull = pull
+		s := NewSession(cfg, rng.New(2))
+		cov := s.Run(3000)
+		if cov[len(cov)-1] != 1 {
+			t.Fatalf("pull=%v: coverage %.3f after %d rounds", pull, cov[len(cov)-1], len(cov))
+		}
+		// Coverage is monotone without churn.
+		for i := 1; i < len(cov); i++ {
+			if cov[i] < cov[i-1]-1e-12 {
+				t.Fatalf("coverage decreased without churn at %d", i)
+			}
+		}
+	}
+}
+
+func TestChurnKeepsPopulationStationary(t *testing.T) {
+	cfg := base()
+	cfg.Rate = 0.5
+	s := NewSession(cfg, rng.New(3))
+	s.Run(200)
+	if s.Members() != 32 {
+		t.Fatalf("population drifted to %d", s.Members())
+	}
+	if s.Round() != 200 {
+		t.Fatalf("round %d", s.Round())
+	}
+}
+
+func TestChurnDepressesCoverage(t *testing.T) {
+	quiet := NewSession(base(), rng.New(4))
+	quietCov := mean(quiet.Run(1200)[900:])
+
+	noisy := base()
+	noisy.Rate = 1.0
+	noisy.Capacity = noisy.InitialMembers + 1300 // room for every join
+	noisyS := NewSession(noisy, rng.New(4))
+	noisyCov := mean(noisyS.Run(1200)[900:])
+	if noisyS.JoinsDropped() != 0 {
+		t.Fatalf("joins dropped despite capacity: %d", noisyS.JoinsDropped())
+	}
+
+	if quietCov < 0.999 {
+		t.Fatalf("quiet steady-state coverage %.4f", quietCov)
+	}
+	if noisyCov >= quietCov {
+		t.Fatalf("churn did not depress coverage: %.4f vs %.4f", noisyCov, quietCov)
+	}
+	if noisyCov < 0.2 {
+		t.Fatalf("coverage collapsed under churn: %.4f", noisyCov)
+	}
+}
+
+func TestSlotsNeverReused(t *testing.T) {
+	cfg := base()
+	cfg.Rate = 2
+	cfg.Capacity = 64 // tight: joins must start failing
+	s := NewSession(cfg, rng.New(5))
+	s.Run(200)
+	if s.JoinsDropped() == 0 {
+		t.Fatal("expected dropped joins with tight capacity")
+	}
+	// Population shrinks once slots run out but never goes below 2.
+	if s.Members() < 2 {
+		t.Fatalf("membership collapsed to %d", s.Members())
+	}
+}
+
+func TestDeadMembersGainNoEdges(t *testing.T) {
+	cfg := base()
+	cfg.Rate = 0.5
+	s := NewSession(cfg, rng.New(6))
+	// Track degrees of departed slots across steps.
+	type snap struct{ slot, degree int }
+	var dead []snap
+	for i := 0; i < 300; i++ {
+		s.Step()
+		if i == 150 {
+			for u := 0; u < s.Graph().N(); u++ {
+				if u < s.cfg.Capacity && !s.Alive(u) && s.Graph().Degree(u) > 0 {
+					dead = append(dead, snap{u, s.Graph().Degree(u)})
+				}
+			}
+		}
+	}
+	if len(dead) == 0 {
+		t.Fatal("no departed members observed")
+	}
+	for _, d := range dead {
+		if s.Graph().Degree(d.slot) != d.degree {
+			t.Fatalf("dead slot %d gained edges: %d -> %d",
+				d.slot, d.degree, s.Graph().Degree(d.slot))
+		}
+	}
+}
+
+func TestCoverageTrivialForTinyMembership(t *testing.T) {
+	s := NewSession(Config{Capacity: 8, InitialMembers: 2, SeedDegree: 1}, rng.New(7))
+	if s.Coverage() != 1 {
+		// Two initial members are wired by the ring constructor.
+		t.Fatalf("2-member coverage %.2f", s.Coverage())
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

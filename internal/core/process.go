@@ -1,0 +1,106 @@
+// Package core implements the gossip-based discovery processes of
+// "Discovery through Gossip" (Haeupler, Pandurangan, Peleg, Rajaraman, Sun;
+// SPAA 2012): push discovery (triangulation), pull discovery (the two-hop
+// walk), and the directed two-hop walk, plus the robustness variants the
+// paper's conclusion proposes (connection failures, partial participation,
+// node crashes).
+//
+// A process is defined by the action a single node takes in one synchronous
+// round, reading the current graph and *proposing* edges. How proposals are
+// committed — all together at the end of the round (the paper's G_t
+// semantics) or eagerly — is the round engine's concern (package sim), which
+// keeps the sampling semantics here exactly as the paper states them.
+package core
+
+import (
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// Process is the per-node action of an undirected discovery process.
+//
+// Act performs node u's action for one round: it reads g (never mutates it)
+// and calls propose for each edge the action creates. Proposing a self-loop
+// or an existing edge is allowed and has no effect when committed.
+type Process interface {
+	// Name identifies the process in experiment output, e.g. "push".
+	Name() string
+	// Act executes node u's round action on the (read-only) graph g.
+	Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int))
+}
+
+// DirectedProcess is the per-node action of a directed discovery process;
+// propose(a, b) proposes the arc a → b.
+type DirectedProcess interface {
+	Name() string
+	Act(g *graph.Directed, u int, r *rng.Rand, propose func(a, b int))
+}
+
+// Push is the triangulation (push discovery) process: each round every node
+// u draws two neighbors v, w independently and uniformly at random from
+// N(u) — with replacement, per Lemma 3's 1/d(w)² accounting — and introduces
+// them to each other, proposing the edge {v, w}.
+//
+// The process is completely local: u needs no two-hop information.
+type Push struct{}
+
+// Name implements Process.
+func (Push) Name() string { return "push" }
+
+// Act implements Process.
+func (Push) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	v, w := g.RandomNeighborPair(u, r)
+	if v >= 0 && v != w {
+		propose(v, w)
+	}
+}
+
+// Pull is the two-hop walk (pull discovery) process: each round every node u
+// contacts a uniform neighbor v, receives the identity of a uniform neighbor
+// w of v, and proposes the edge {u, w}. If w == u (the walk returned), no
+// edge is created.
+type Pull struct{}
+
+// Name implements Process.
+func (Pull) Name() string { return "pull" }
+
+// Act implements Process.
+func (Pull) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	v := g.RandomNeighbor(u, r)
+	if v < 0 {
+		return
+	}
+	w := g.RandomNeighbor(v, r)
+	if w >= 0 && w != u {
+		propose(u, w)
+	}
+}
+
+// DirectedTwoHop is the two-hop walk on directed graphs (Section 5): each
+// round every node u takes a two-hop directed random walk u → v → w
+// (v uniform over u's out-neighbors, w uniform over v's out-neighbors) and
+// proposes the arc u → w. Nodes with no out-neighbors, and walks whose
+// middle node has no out-neighbors, do nothing.
+type DirectedTwoHop struct{}
+
+// Name implements DirectedProcess.
+func (DirectedTwoHop) Name() string { return "directed-two-hop" }
+
+// Act implements DirectedProcess.
+func (DirectedTwoHop) Act(g *graph.Directed, u int, r *rng.Rand, propose func(a, b int)) {
+	v := g.RandomOutNeighbor(u, r)
+	if v < 0 {
+		return
+	}
+	w := g.RandomOutNeighbor(v, r)
+	if w >= 0 && w != u {
+		propose(u, w)
+	}
+}
+
+// compile-time interface checks
+var (
+	_ Process         = Push{}
+	_ Process         = Pull{}
+	_ DirectedProcess = DirectedTwoHop{}
+)

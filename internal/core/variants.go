@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// This file implements the robustness variants sketched in the paper's
+// conclusion (Section 6): "variants of the processes that take into account
+// failures associated with forming connections, the joining and leaving of
+// nodes, or having only a subset of nodes to participate in forming
+// connections."
+
+// Faulty wraps a process so that every proposed connection independently
+// fails (is dropped) with probability FailProb. It models flaky links or
+// rejected introductions.
+type Faulty struct {
+	Inner    Process
+	FailProb float64
+}
+
+// Name implements Process.
+func (f Faulty) Name() string { return fmt.Sprintf("%s+fail%.2f", f.Inner.Name(), f.FailProb) }
+
+// Act implements Process.
+func (f Faulty) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	f.Inner.Act(g, u, r, func(a, b int) {
+		if !r.Bernoulli(f.FailProb) {
+			propose(a, b)
+		}
+	})
+}
+
+// Partial wraps a process so that each node participates in a given round
+// only with probability Participation; non-participants take no action that
+// round (they can still be discovered by others).
+type Partial struct {
+	Inner         Process
+	Participation float64
+}
+
+// Name implements Process.
+func (p Partial) Name() string {
+	return fmt.Sprintf("%s+part%.2f", p.Inner.Name(), p.Participation)
+}
+
+// Act implements Process.
+func (p Partial) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	if !r.Bernoulli(p.Participation) {
+		return
+	}
+	p.Inner.Act(g, u, r, propose)
+}
+
+// Crashed wraps a process with a static liveness mask, modeling fail-stop
+// crashes: dead nodes take no action, and any proposal naming a dead
+// endpoint is wasted (the dead node does not respond). Stale neighbor-table
+// entries pointing at dead nodes still get sampled and burn rounds — the
+// realistic cost of crashes.
+//
+// Endpoint filtering is exact for push (the introduced pair must be alive;
+// the introducer acted, so it is alive). For pull the *relay* node's
+// liveness also matters — use CrashedPull, which models the dead relay
+// never answering the request.
+//
+// Alive is indexed by node id and must cover the graph.
+type Crashed struct {
+	Inner Process
+	Alive []bool
+}
+
+// Name implements Process.
+func (c Crashed) Name() string { return c.Inner.Name() + "+crash" }
+
+// Act implements Process.
+func (c Crashed) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	if !c.Alive[u] {
+		return
+	}
+	c.Inner.Act(g, u, r, func(a, b int) {
+		if c.Alive[a] && c.Alive[b] {
+			propose(a, b)
+		}
+	})
+}
+
+// CrashedPull is the two-hop walk under fail-stop crashes: a dead node
+// never initiates a pull, a pull whose relay v is dead goes unanswered, and
+// a pulled contact w that is dead is useless.
+type CrashedPull struct {
+	Alive []bool
+}
+
+// Name implements Process.
+func (CrashedPull) Name() string { return "pull+crash" }
+
+// Act implements Process.
+func (c CrashedPull) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	if !c.Alive[u] {
+		return
+	}
+	v := g.RandomNeighbor(u, r)
+	if v < 0 || !c.Alive[v] {
+		return // the dead relay never answers
+	}
+	w := g.RandomNeighbor(v, r)
+	if w >= 0 && w != u && c.Alive[w] {
+		propose(u, w)
+	}
+}
+
+// PushPull alternates both actions at every node every round, the natural
+// combined protocol (each node both introduces two of its neighbors and
+// performs a two-hop walk). Used by ablation experiments.
+type PushPull struct{}
+
+// Name implements Process.
+func (PushPull) Name() string { return "push-pull" }
+
+// Act implements Process.
+func (PushPull) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	Push{}.Act(g, u, r, propose)
+	Pull{}.Act(g, u, r, propose)
+}
+
+// FaultyDirected is the directed analogue of Faulty.
+type FaultyDirected struct {
+	Inner    DirectedProcess
+	FailProb float64
+}
+
+// Name implements DirectedProcess.
+func (f FaultyDirected) Name() string {
+	return fmt.Sprintf("%s+fail%.2f", f.Inner.Name(), f.FailProb)
+}
+
+// Act implements DirectedProcess.
+func (f FaultyDirected) Act(g *graph.Directed, u int, r *rng.Rand, propose func(a, b int)) {
+	f.Inner.Act(g, u, r, func(a, b int) {
+		if !r.Bernoulli(f.FailProb) {
+			propose(a, b)
+		}
+	})
+}
+
+var (
+	_ Process         = Faulty{}
+	_ Process         = Partial{}
+	_ Process         = Crashed{}
+	_ Process         = CrashedPull{}
+	_ Process         = PushPull{}
+	_ DirectedProcess = FaultyDirected{}
+)

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stats"
+	"gossipdisc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E15",
+		Title: "Scheduler/commit ablation: synchronous vs eager vs asynchronous",
+		Paper: "DESIGN.md decision 1: the G_t commit semantics",
+		Run:   runAblation,
+	})
+	register(Experiment{
+		ID:    "E16",
+		Title: "Concentration of convergence time (the \"w.h.p.\" in Thm 8/12)",
+		Paper: "Theorems 8/12: high-probability bounds",
+		Run:   runConcentration,
+	})
+}
+
+// runAblation implements E15: the paper's synchronous commit versus the
+// eager ablation and the asynchronous single-activation scheduler. All
+// three should exhibit the same Θ(n·polylog n) scaling with only constant
+// shifts, confirming that the reproduction's conclusions do not hinge on
+// scheduler minutiae.
+func runAblation(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ns := cfg.sizes(32, 64, 128, 256)
+	trials := cfg.trials(12)
+
+	for _, procName := range []string{"push", "pull"} {
+		proc := plainProcByName(procName)
+		tbl := trace.NewTable(
+			fmt.Sprintf("E15: %s on the n-cycle under three schedulers (%d trials, rounds or ticks/n)", procName, trials),
+			"n", "sync", "eager", "async", "eager/sync", "async/sync")
+		for ni, n := range ns {
+			seed := pointSeed(cfg.Seed, uint64(ni), hashName(procName))
+
+			syncRes := sim.Trials(trials, seed, cycleBuilder(n), proc, sim.Config{})
+			syncSum, err := summarizeRounds(syncRes)
+			if err != nil {
+				return fmt.Errorf("E15 sync n=%d: %w", n, err)
+			}
+			eagerRes := sim.Trials(trials, seed, cycleBuilder(n), proc,
+				sim.Config{Mode: sim.CommitEager})
+			eagerSum, err := summarizeRounds(eagerRes)
+			if err != nil {
+				return fmt.Errorf("E15 eager n=%d: %w", n, err)
+			}
+
+			root := rng.New(seed)
+			var asyncRounds []float64
+			for t := 0; t < trials; t++ {
+				r := root.Split()
+				g := gen.Cycle(n)
+				res := sim.RunAsync(g, proc, r, sim.AsyncConfig{})
+				if !res.Converged {
+					return fmt.Errorf("E15 async n=%d: did not converge", n)
+				}
+				asyncRounds = append(asyncRounds, res.ParallelRounds)
+			}
+			asyncSum := stats.Summarize(asyncRounds)
+
+			tbl.AddRow(trace.I(n),
+				trace.F(syncSum.Mean, 1),
+				trace.F(eagerSum.Mean, 1),
+				trace.F(asyncSum.Mean, 1),
+				trace.F(eagerSum.Mean/syncSum.Mean, 3),
+				trace.F(asyncSum.Mean/syncSum.Mean, 3))
+		}
+		if err := render(cfg, w, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cycleBuilder(n int) func(trial int, r *rng.Rand) *graph.Undirected {
+	return func(trial int, r *rng.Rand) *graph.Undirected { return gen.Cycle(n) }
+}
+
+// runConcentration implements E16: Theorems 8/12 are with-high-probability
+// statements, so the convergence time should concentrate: the ratio of
+// extreme quantiles to the median must stay small and shrink-ish with n.
+func runConcentration(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ns := cfg.sizes(32, 64, 128, 256)
+	trials := cfg.trials(100)
+
+	for _, procName := range []string{"push", "pull"} {
+		proc := plainProcByName(procName)
+		tbl := trace.NewTable(
+			fmt.Sprintf("E16: %s on the n-cycle, distribution over %d trials", procName, trials),
+			"n", "median", "p10", "p90", "max", "p90/median", "max/median")
+		for ni, n := range ns {
+			seed := pointSeed(cfg.Seed, uint64(ni), hashName(procName), 161616)
+			results := sim.Trials(trials, seed, cycleBuilder(n), proc, sim.Config{})
+			if !sim.AllConverged(results) {
+				return fmt.Errorf("E16 n=%d: non-converged trial", n)
+			}
+			rounds := sim.Rounds(results)
+			med := stats.Median(rounds)
+			p10 := stats.Quantile(rounds, 0.10)
+			p90 := stats.Quantile(rounds, 0.90)
+			max := stats.Max(rounds)
+			tbl.AddRow(trace.I(n),
+				trace.F(med, 0), trace.F(p10, 0), trace.F(p90, 0), trace.F(max, 0),
+				trace.F(p90/med, 3), trace.F(max/med, 3))
+		}
+		if err := render(cfg, w, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

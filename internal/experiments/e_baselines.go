@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"gossipdisc/internal/baseline"
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Rounds-vs-bandwidth trade-off against Name Dropper and Pointer Jump",
+		Paper: "Section 1 (Applications): O(log n)-bit gossip vs Θ(n)-bit discovery",
+		Run:   runBaselines,
+	})
+}
+
+// runBaselines implements E11. The paper motivates its processes as the
+// bandwidth-frugal end of the resource-discovery spectrum: Name Dropper
+// finishes in polylog rounds but ships whole neighbor lists, while push and
+// pull use O(log n)-bit messages for O(n log² n) rounds. The table shows
+// both axes on shared workloads; "who wins" flips with the metric, exactly
+// as the paper argues.
+func runBaselines(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ns := cfg.sizes(32, 64, 128)
+	trials := cfg.trials(10)
+
+	type contender struct {
+		name string
+		make func(meter *baseline.IDMeter) core.Process
+	}
+	contenders := []contender{
+		{"push", func(m *baseline.IDMeter) core.Process {
+			return baseline.MeteredGossip{Inner: core.Push{}, IDsPerAct: 2, Meter: m}
+		}},
+		{"pull", func(m *baseline.IDMeter) core.Process {
+			return baseline.MeteredGossip{Inner: core.Pull{}, IDsPerAct: 3, Meter: m}
+		}},
+		{"name-dropper", func(m *baseline.IDMeter) core.Process {
+			return baseline.NameDropper{Meter: m}
+		}},
+		{"pointer-jump", func(m *baseline.IDMeter) core.Process {
+			return baseline.RandomPointerJump{Meter: m}
+		}},
+	}
+
+	for _, n := range ns {
+		idBits := int(math.Ceil(math.Log2(float64(n))))
+		tbl := trace.NewTable(
+			fmt.Sprintf("E11: cycle workload, n=%d (%d trials, ID width %d bits)", n, trials, idBits),
+			"algorithm", "rounds", "total IDs sent", "IDs/round/node", "IDs/msg (mean)", "total Mbit")
+		for ci, c := range contenders {
+			meter := &baseline.IDMeter{}
+			proc := c.make(meter)
+			seed := pointSeed(cfg.Seed, uint64(n), uint64(ci))
+			// Meters are shared across trials; divide totals by trial count.
+			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
+				return gen.Cycle(n)
+			}, proc, sim.Config{})
+			sum, err := summarizeRounds(results)
+			if err != nil {
+				return fmt.Errorf("E11 %s n=%d: %w", c.name, n, err)
+			}
+			idsPerTrial := float64(meter.IDs()) / float64(trials)
+			perRoundPerNode := idsPerTrial / (sum.Mean * float64(n))
+			perMsg := float64(meter.IDs()) / float64(meter.Messages())
+			// For push/pull messages are constant-size, so the mean per
+			// message equals the max; for Name Dropper / Pointer Jump the
+			// mean already dwarfs it — the bandwidth axis the paper argues.
+			tbl.AddRow(c.name,
+				trace.F(sum.Mean, 1),
+				trace.F(idsPerTrial, 0),
+				trace.F(perRoundPerNode, 2),
+				trace.F(perMsg, 2),
+				trace.F(idsPerTrial*float64(idBits)/1e6, 3))
+		}
+		if err := render(cfg, w, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gossipdisc/internal/churn"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/stats"
+	"gossipdisc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Discovery under continuous churn (steady-state coverage)",
+		Paper: "Section 6 (conclusion): joining and leaving of nodes",
+		Run:   runChurn,
+	})
+}
+
+// runChurn implements E14. With nodes joining and leaving, one-shot
+// convergence is replaced by a moving target; the steady-state *coverage* —
+// the fraction of current-member pairs that know each other — measures how
+// well the process keeps up. Push and pull both sustain high coverage at
+// moderate churn because new edges accrue at Ω(1) per round per member
+// while each churn event invalidates only O(membership) pair-knowledge.
+func runChurn(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	trials := cfg.trials(5)
+	const members = 48
+	const rounds = 1500
+	const tail = 400 // steady-state window
+
+	for _, pull := range []bool{false, true} {
+		name := "push"
+		if pull {
+			name = "pull"
+		}
+		tbl := trace.NewTable(
+			fmt.Sprintf("E14: %s with %d members, %d rounds, coverage over final %d rounds (%d trials)",
+				name, members, rounds, tail, trials),
+			"churn rate/round", "mean coverage", "min coverage", "rounds to 90% (cold start)")
+		for ri, rate := range []float64{0, 0.1, 0.5, 1.0, 2.0} {
+			var covs, mins, warmups []float64
+			root := rng.New(pointSeed(cfg.Seed, uint64(ri), hashName(name)))
+			for trial := 0; trial < trials; trial++ {
+				s := churn.NewSession(churn.Config{
+					Capacity:       members + int(rate*float64(rounds)) + 16,
+					InitialMembers: members,
+					SeedDegree:     3,
+					Rate:           rate,
+					Pull:           pull,
+				}, root.Split())
+				series := s.Run(rounds)
+				warm := float64(rounds)
+				for i, c := range series {
+					if c >= 0.9 {
+						warm = float64(i + 1)
+						break
+					}
+				}
+				warmups = append(warmups, warm)
+				tailSlice := series[rounds-tail:]
+				covs = append(covs, stats.Mean(tailSlice))
+				mins = append(mins, stats.Min(tailSlice))
+			}
+			tbl.AddRow(trace.F(rate, 1),
+				trace.F(stats.Mean(covs), 4),
+				trace.F(stats.Min(mins), 4),
+				trace.F(stats.Mean(warmups), 0))
+		}
+		if err := render(cfg, w, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package experiments registers one runnable experiment per theorem and
+// figure of the paper (see DESIGN.md's per-experiment index, E1–E13). Each
+// experiment sweeps a workload, runs trials in parallel, and renders the
+// tables EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stats"
+	"gossipdisc/internal/trace"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed is the root seed of every sweep point (combined with point
+	// coordinates so points are independent but reproducible).
+	Seed uint64
+	// Trials overrides the per-point trial count (0 = experiment default).
+	Trials int
+	// Scale in (0, 1] shrinks the problem-size sweep for quick runs; 1 is
+	// the full ladder.
+	Scale float64
+	// CSV selects CSV output instead of aligned text.
+	CSV bool
+}
+
+func (c Config) normalized() Config {
+	if c.Seed == 0 {
+		c.Seed = 0x9d15c0ffee
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	return c
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
+}
+
+// sizes scales a ladder of problem sizes: with Scale < 1 the ladder is
+// truncated (never below its two smallest rungs).
+func (c Config) sizes(ladder ...int) []int {
+	keep := int(float64(len(ladder))*c.Scale + 0.5)
+	if keep < 2 {
+		keep = 2
+	}
+	if keep > len(ladder) {
+		keep = len(ladder)
+	}
+	return ladder[:keep]
+}
+
+// pointSeed derives a stable seed for one sweep point from the root seed
+// and the point's coordinates, so adding sweep points never perturbs the
+// results of existing ones.
+func pointSeed(root uint64, coords ...uint64) uint64 {
+	h := root ^ 0x9e3779b97f4a7c15
+	for _, c := range coords {
+		h ^= c + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return h
+}
+
+// Experiment is a registered, runnable reproduction unit.
+type Experiment struct {
+	// ID is the stable identifier, e.g. "E1".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper names the theorem/figure reproduced.
+	Paper string
+	// Run executes the experiment and renders its tables to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID (numerically).
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// render writes a table in the configured format, followed by a blank line.
+func render(cfg Config, w io.Writer, t *trace.Table) error {
+	var err error
+	if cfg.CSV {
+		err = t.RenderCSV(w)
+	} else {
+		err = t.Render(w)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+// summarizeRounds converts trial results into a Summary of round counts,
+// returning an error if any trial failed to converge.
+func summarizeRounds(results []sim.Result) (stats.Summary, error) {
+	if !sim.AllConverged(results) {
+		return stats.Summary{}, fmt.Errorf("experiments: %d-trial batch had non-converged runs", len(results))
+	}
+	return stats.Summarize(sim.Rounds(results)), nil
+}
+
+// summarizeDirectedRounds is the directed analogue of summarizeRounds.
+func summarizeDirectedRounds(results []sim.DirectedResult) (stats.Summary, error) {
+	if !sim.AllDirectedConverged(results) {
+		return stats.Summary{}, fmt.Errorf("experiments: %d-trial batch had non-converged runs", len(results))
+	}
+	return stats.Summarize(sim.DirectedRounds(results)), nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 18 {
+		t.Fatalf("expected at least 18 experiments, have %d", len(all))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d is %s want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Paper == "" || all[i].Run == nil {
+			t.Fatalf("experiment %s incompletely registered: %+v", id, all[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E7")
+	if err != nil || e.ID != "E7" {
+		t.Fatalf("ByID(E7): %v %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("expected error for unknown ID")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Seed == 0 || c.Scale != 1 {
+		t.Fatalf("normalized config %+v", c)
+	}
+	if (Config{Trials: 5}).trials(10) != 5 {
+		t.Fatal("trials override broken")
+	}
+	if (Config{}).trials(10) != 10 {
+		t.Fatal("trials default broken")
+	}
+}
+
+func TestSizesScaling(t *testing.T) {
+	full := Config{Scale: 1}.normalized()
+	if got := full.sizes(8, 16, 32, 64); len(got) != 4 {
+		t.Fatalf("full ladder %v", got)
+	}
+	half := Config{Scale: 0.5}.normalized()
+	if got := half.sizes(8, 16, 32, 64); len(got) != 2 {
+		t.Fatalf("half ladder %v", got)
+	}
+	tiny := Config{Scale: 0.01}.normalized()
+	if got := tiny.sizes(8, 16, 32, 64); len(got) != 2 {
+		t.Fatalf("tiny ladder should keep 2 rungs: %v", got)
+	}
+}
+
+func TestPointSeedStable(t *testing.T) {
+	a := pointSeed(1, 2, 3)
+	b := pointSeed(1, 2, 3)
+	c := pointSeed(1, 3, 2)
+	if a != b {
+		t.Fatal("pointSeed unstable")
+	}
+	if a == c {
+		t.Fatal("pointSeed ignores coordinate order")
+	}
+}
+
+func TestHashNameDistinguishes(t *testing.T) {
+	if hashName("push") == hashName("pull") {
+		t.Fatal("hashName collision on process names")
+	}
+}
+
+// Every registered experiment must run end-to-end at a reduced scale and
+// produce non-empty tabular output mentioning its own ID.
+func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	cfg := Config{Seed: 1, Trials: 3, Scale: 0.4}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var sb strings.Builder
+			if err := e.Run(cfg, &sb); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := sb.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if !strings.Contains(out, e.ID+":") {
+				t.Fatalf("%s output does not carry its ID:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "----") {
+				t.Fatalf("%s output has no table rule:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	e, err := ByID("E8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(Config{Seed: 2, Trials: 50, CSV: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "graph,kernel,exact E[T]") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "----") {
+		t.Fatal("CSV output contains text-table rule")
+	}
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/graph"
+)
+
+// This file adds further standard workload families used by the ablation
+// experiments and available through the CLI registry.
+
+// Wheel returns the wheel graph: an (n-1)-cycle plus a hub (node 0)
+// adjacent to every rim node. Requires n >= 4.
+func Wheel(n int) *graph.Undirected {
+	if n < 4 {
+		panic(fmt.Sprintf("gen: Wheel(%d) needs n >= 4", n))
+	}
+	g := graph.NewUndirected(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		g.AddEdge(i, next)
+	}
+	return g
+}
+
+// Caterpillar returns a spine path of ceil(n/2) nodes with the remaining
+// nodes attached as legs round-robin along the spine.
+func Caterpillar(n int) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	spine := (n + 1) / 2
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1)
+	}
+	for leg := spine; leg < n; leg++ {
+		g.AddEdge(leg, (leg-spine)%spine)
+	}
+	return g
+}
+
+// KaryTree returns the complete k-ary tree on n nodes (node i's children
+// are k·i+1 … k·i+k).
+func KaryTree(n, k int) *graph.Undirected {
+	if k < 1 {
+		panic(fmt.Sprintf("gen: KaryTree arity %d", k))
+	}
+	g := graph.NewUndirected(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, (i-1)/k)
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(1, …, jumps): node i is
+// adjacent to i±1, …, i±jumps (mod n). A simple constant-degree expander
+// stand-in for the ablation sweeps.
+func Circulant(n, jumps int) *graph.Undirected {
+	if jumps < 1 {
+		panic(fmt.Sprintf("gen: Circulant jumps %d", jumps))
+	}
+	g := graph.NewUndirected(n)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= jumps; j++ {
+			g.AddEdge(i, (i+j)%n)
+		}
+	}
+	return g
+}
+
+// Broom returns a star of n/2 leaves whose center extends into a path of
+// the remaining nodes — high-degree and deep-path features in one graph.
+func Broom(n int) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	half := n / 2
+	for i := 1; i <= half; i++ {
+		g.AddEdge(0, i)
+	}
+	prev := 0
+	for i := half + 1; i < n; i++ {
+		g.AddEdge(prev, i)
+		prev = i
+	}
+	return g
+}

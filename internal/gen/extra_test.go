@@ -1,0 +1,104 @@
+package gen
+
+import "testing"
+
+func TestWheel(t *testing.T) {
+	g := Wheel(8)
+	if g.M() != 2*(8-1) {
+		t.Fatalf("wheel edges %d want %d", g.M(), 2*7)
+	}
+	if g.Degree(0) != 7 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	for i := 1; i < 8; i++ {
+		if g.Degree(i) != 3 {
+			t.Fatalf("rim node %d degree %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("wheel diameter %d", g.Diameter())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wheel(3) should panic")
+		}
+	}()
+	Wheel(3)
+}
+
+func TestCaterpillar(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 17} {
+		g := Caterpillar(n)
+		if g.M() != n-1 {
+			t.Fatalf("caterpillar(%d) edges %d", n, g.M())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("caterpillar(%d) disconnected", n)
+		}
+	}
+	// Legs attach to the spine: node 5 (first leg of n=10, spine 0..4)
+	// attaches to 0.
+	g := Caterpillar(10)
+	if !g.HasEdge(5, 0) || !g.HasEdge(6, 1) {
+		t.Fatal("caterpillar legs misattached")
+	}
+}
+
+func TestKaryTree(t *testing.T) {
+	g := KaryTree(13, 3) // complete 3-ary tree of depth 2
+	if g.M() != 12 || !g.IsConnected() {
+		t.Fatalf("3-ary tree wrong: %v", g)
+	}
+	if g.Degree(0) != 3 {
+		t.Fatalf("root degree %d", g.Degree(0))
+	}
+	if !g.HasEdge(1, 4) || !g.HasEdge(1, 5) || !g.HasEdge(1, 6) {
+		t.Fatal("children of node 1 wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KaryTree(5, 0) should panic")
+		}
+	}()
+	KaryTree(5, 0)
+}
+
+func TestCirculant(t *testing.T) {
+	g := Circulant(12, 3)
+	for i := 0; i < 12; i++ {
+		if g.Degree(i) != 6 {
+			t.Fatalf("circulant degree %d at %d", g.Degree(i), i)
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("circulant disconnected")
+	}
+	if !g.HasEdge(0, 3) || g.HasEdge(0, 4) {
+		t.Fatal("circulant jumps wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Circulant(5, 0) should panic")
+		}
+	}()
+	Circulant(5, 0)
+}
+
+func TestCirculantSmallWraps(t *testing.T) {
+	// Jumps that wrap past n must not create self-loops or duplicates.
+	g := Circulant(4, 3)
+	g.CheckInvariants()
+	if !g.IsComplete() {
+		t.Fatalf("C4(1,2,3) should be K4: %v", g)
+	}
+}
+
+func TestBroom(t *testing.T) {
+	g := Broom(12)
+	if !g.IsConnected() || g.M() != 11 {
+		t.Fatalf("broom wrong: %v", g)
+	}
+	if g.Degree(0) != 7 { // 6 leaves + first path node
+		t.Fatalf("broom center degree %d", g.Degree(0))
+	}
+}

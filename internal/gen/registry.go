@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// Family is a named, parameterized generator of undirected workloads, used
+// by the experiment sweeps. Generate must return a connected graph on
+// (about) n nodes; families are free to round n to a feasible value (e.g.
+// hypercubes round to powers of two) — callers read the actual size off the
+// returned graph.
+type Family struct {
+	Name     string
+	MinN     int
+	Generate func(n int, r *rng.Rand) *graph.Undirected
+}
+
+// DirectedFamily is the directed analogue of Family.
+type DirectedFamily struct {
+	Name     string
+	MinN     int
+	Generate func(n int, r *rng.Rand) *graph.Directed
+}
+
+// UndirectedFamilies returns the registry of undirected workload families in
+// a stable order. These are the sweep axes of experiments E1/E3/E9/E10.
+func UndirectedFamilies() []Family {
+	return []Family{
+		{Name: "path", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Path(n) }},
+		{Name: "cycle", MinN: 3, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Cycle(n) }},
+		{Name: "star", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Star(n) }},
+		{Name: "bintree", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return BinaryTree(n) }},
+		{Name: "randtree", MinN: 2, Generate: RandomTree},
+		{Name: "lollipop", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Lollipop(n) }},
+		{Name: "barbell", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Barbell(n) }},
+		{Name: "grid", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+			side := intSqrt(n)
+			return Grid(side, side)
+		}},
+		{Name: "hypercube", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+			d := 1
+			for 1<<(d+1) <= n {
+				d++
+			}
+			return Hypercube(d)
+		}},
+		{Name: "er-sparse", MinN: 8, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+			return ConnectedER(n, 2.0/float64(n), r)
+		}},
+		{Name: "prefattach", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+			return PreferentialAttachment(n, 2, r)
+		}},
+		{Name: "2clusters", MinN: 8, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+			return TwoClustersBridge(n, 4.0/float64(n), r)
+		}},
+		{Name: "wheel", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Wheel(n) }},
+		{Name: "caterpillar", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Caterpillar(n) }},
+		{Name: "3arytree", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return KaryTree(n, 3) }},
+		{Name: "circulant3", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Circulant(n, 3) }},
+		{Name: "broom", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Broom(n) }},
+	}
+}
+
+// FamilyByName returns the undirected family with the given name.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range UndirectedFamilies() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("gen: unknown undirected family %q (have %v)", name, FamilyNames())
+}
+
+// FamilyNames returns the registered undirected family names, sorted.
+func FamilyNames() []string {
+	fams := UndirectedFamilies()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DirectedFamilies returns the registry of directed workload families.
+func DirectedFamilies() []DirectedFamily {
+	return []DirectedFamily{
+		{Name: "dcycle", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Directed { return DirectedCycle(n) }},
+		{Name: "strong-random", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Directed {
+			return RandomStronglyConnected(n, n/2, r)
+		}},
+		{Name: "weak-random", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Directed {
+			return RandomWeaklyConnected(n, n/4, r)
+		}},
+		{Name: "thm14", MinN: 8, Generate: func(n int, r *rng.Rand) *graph.Directed {
+			return Thm14WeakLowerBound(n - n%4)
+		}},
+		{Name: "thm15", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Directed {
+			return Thm15StrongLowerBound(n - n%2)
+		}},
+	}
+}
+
+// DirectedFamilyByName returns the directed family with the given name.
+func DirectedFamilyByName(name string) (DirectedFamily, error) {
+	for _, f := range DirectedFamilies() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	var names []string
+	for _, f := range DirectedFamilies() {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return DirectedFamily{}, fmt.Errorf("gen: unknown directed family %q (have %v)", name, names)
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

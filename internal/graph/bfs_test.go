@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gossipdisc/internal/rng"
+)
+
+// floydWarshall computes all-pairs shortest paths independently of the BFS
+// implementation, as a cross-check oracle.
+func floydWarshall(g *Undirected) [][]int {
+	n := g.N()
+	const inf = 1 << 29
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case g.HasEdge(i, j):
+				d[i][j] = 1
+			default:
+				d[i][j] = inf
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] >= inf {
+				d[i][j] = -1
+			}
+		}
+	}
+	return d
+}
+
+func TestQuickBFSMatchesFloydWarshall(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(14)
+		g := NewUndirected(n)
+		edges := r.Intn(2 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		want := floydWarshall(g)
+		for src := 0; src < n; src++ {
+			got := g.BFSDistances(src)
+			for v := 0; v < n; v++ {
+				if got[v] != want[src][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDiameterMatchesFloydWarshall(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(10)
+		g := randomConnected(n, r)
+		want := 0
+		for _, row := range floydWarshall(g) {
+			for _, d := range row {
+				if d > want {
+					want = d
+				}
+			}
+		}
+		return g.Diameter() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distance satisfies the triangle inequality over edges —
+// |dist(u) - dist(v)| <= 1 for every edge {u, v} (when both reachable).
+func TestQuickBFSLipschitzOverEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(15)
+		g := randomConnected(n, r)
+		dist := g.BFSDistances(r.Intn(n))
+		for _, e := range g.Edges() {
+			d := dist[e.U] - dist[e.V]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the neighborhood size profile sums to the reachable set size.
+func TestQuickNeighborhoodSizesPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(12)
+		g := randomConnected(n, r)
+		u := r.Intn(n)
+		sizes := g.NeighborhoodSizes(u, n)
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		return total == n && sizes[0] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import "gossipdisc/internal/bitset"
+
+// This file implements reachability and transitive closure on directed
+// graphs. The directed two-hop process terminates when G_t contains the arc
+// (u, v) for every ordered pair with a u→v path in G₀ (Section 5 of the
+// paper); the closure of G₀ is therefore the termination target.
+
+// ReachableFrom returns the set of nodes reachable from src by directed
+// paths, including src itself.
+func (g *Directed) ReachableFrom(src int) *bitset.Set {
+	g.checkNode(src)
+	seen := bitset.New(g.n)
+	seen.Set(src)
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := int(queue[head])
+		for _, v32 := range g.out[u] {
+			v := int(v32)
+			if !seen.Test(v) {
+				seen.Set(v)
+				queue = append(queue, v32)
+			}
+		}
+	}
+	return seen
+}
+
+// TransitiveClosure returns rows where rows[u] is the set of nodes v != u
+// reachable from u. These rows are exactly the out-neighbor sets the
+// directed two-hop process must converge to.
+func (g *Directed) TransitiveClosure() []*bitset.Set {
+	rows := make([]*bitset.Set, g.n)
+	for u := 0; u < g.n; u++ {
+		r := g.ReachableFrom(u)
+		r.Clear(u)
+		rows[u] = r
+	}
+	return rows
+}
+
+// ClosureArcCount returns the total number of arcs in the transitive
+// closure of g (the termination target size for the two-hop process).
+func (g *Directed) ClosureArcCount() int {
+	total := 0
+	for _, row := range g.TransitiveClosure() {
+		total += row.Count()
+	}
+	return total
+}
+
+// IsClosed reports whether g already equals its own transitive closure,
+// i.e. whether the directed two-hop process has terminated.
+func (g *Directed) IsClosed() bool {
+	for u := 0; u < g.n; u++ {
+		r := g.ReachableFrom(u)
+		r.Clear(u)
+		if !r.Equal(g.mat[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStronglyConnected reports whether every node reaches every other node.
+// For n <= 1 it returns true.
+func (g *Directed) IsStronglyConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	if g.ReachableFrom(0).Count() != g.n {
+		return false
+	}
+	// Check the reverse direction: every node must reach node 0. Build the
+	// reverse graph once and BFS from 0.
+	rev := NewDirected(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			rev.AddArc(int(v), u)
+		}
+	}
+	return rev.ReachableFrom(0).Count() == g.n
+}
+
+// IsWeaklyConnected reports whether the underlying undirected graph is
+// connected.
+func (g *Directed) IsWeaklyConnected() bool {
+	return g.Underlying().IsConnected()
+}
+
+// CondensationSize returns the number of strongly connected components
+// (Tarjan's algorithm, iterative).
+func (g *Directed) CondensationSize() int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	sccs := 0
+
+	// Iterative Tarjan with an explicit call stack of (node, child cursor).
+	type frame struct{ u, ci int }
+	for s := 0; s < g.n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		callStack := []frame{{s, 0}}
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, s)
+		onStack[s] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ci < len(g.out[f.u]) {
+				v := int(g.out[f.u][f.ci])
+				f.ci++
+				if index[v] == unvisited {
+					index[v] = next
+					low[v] = next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					callStack = append(callStack, frame{v, 0})
+				} else if onStack[v] && index[v] < low[f.u] {
+					low[f.u] = index[v]
+				}
+				continue
+			}
+			// Post-order: pop frame, propagate lowlink, emit SCC roots.
+			u := f.u
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[u] < low[p.u] {
+					low[p.u] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				sccs++
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					if w == u {
+						break
+					}
+				}
+			}
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/bitset"
+	"gossipdisc/internal/rng"
+)
+
+// Arc is a directed edge from U to V.
+type Arc struct {
+	U, V int
+}
+
+// Directed is a simple directed graph on nodes 0..n-1 supporting arc
+// insertion. As with Undirected, the discovery processes only add arcs.
+type Directed struct {
+	n   int
+	out [][]int32     // out-adjacency lists
+	mat []*bitset.Set // row u = out-neighbor set of u
+	in  []int         // in-degrees (maintained for metrics)
+	m   int           // number of arcs
+}
+
+// NewDirected returns an empty directed graph on n nodes.
+func NewDirected(n int) *Directed {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	g := &Directed{
+		n:   n,
+		out: make([][]int32, n),
+		mat: make([]*bitset.Set, n),
+		in:  make([]int, n),
+	}
+	for i := range g.mat {
+		g.mat[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Directed) N() int { return g.n }
+
+// M returns the number of arcs.
+func (g *Directed) M() int { return g.m }
+
+func (g *Directed) checkNode(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// AddArc inserts the arc (u → v) and reports whether it was new.
+// Self-arcs are ignored.
+func (g *Directed) AddArc(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	if u == v || g.mat[u].Test(v) {
+		return false
+	}
+	g.mat[u].Set(v)
+	g.out[u] = append(g.out[u], int32(v))
+	g.in[v]++
+	g.m++
+	return true
+}
+
+// HasArc reports whether the arc (u → v) is present.
+func (g *Directed) HasArc(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	return g.mat[u].Test(v)
+}
+
+// OutDegree returns the number of out-neighbors of u.
+func (g *Directed) OutDegree(u int) int {
+	g.checkNode(u)
+	return len(g.out[u])
+}
+
+// InDegree returns the number of in-neighbors of u.
+func (g *Directed) InDegree(u int) int {
+	g.checkNode(u)
+	return g.in[u]
+}
+
+// RandomOutNeighbor returns a uniformly random out-neighbor of u, or -1 if u
+// has no out-neighbors.
+func (g *Directed) RandomOutNeighbor(u int, r *rng.Rand) int {
+	g.checkNode(u)
+	d := len(g.out[u])
+	if d == 0 {
+		return -1
+	}
+	return int(g.out[u][r.Intn(d)])
+}
+
+// OutNeighbors appends the out-neighbors of u to dst and returns the result.
+func (g *Directed) OutNeighbors(u int, dst []int) []int {
+	g.checkNode(u)
+	for _, v := range g.out[u] {
+		dst = append(dst, int(v))
+	}
+	return dst
+}
+
+// OutRow returns the live bitset row of u's out-neighbors; callers must not
+// modify it.
+func (g *Directed) OutRow(u int) *bitset.Set {
+	g.checkNode(u)
+	return g.mat[u]
+}
+
+// Arcs returns all arcs ordered by tail then head.
+func (g *Directed) Arcs() []Arc {
+	out := make([]Arc, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		g.mat[u].ForEach(func(v int) {
+			out = append(out, Arc{u, v})
+		})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Directed) Clone() *Directed {
+	c := &Directed{
+		n:   g.n,
+		out: make([][]int32, g.n),
+		mat: make([]*bitset.Set, g.n),
+		in:  append([]int(nil), g.in...),
+		m:   g.m,
+	}
+	for u := 0; u < g.n; u++ {
+		c.out[u] = append([]int32(nil), g.out[u]...)
+		c.mat[u] = g.mat[u].Clone()
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node and arc sets.
+func (g *Directed) Equal(h *Directed) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if !g.mat[u].Equal(h.mat[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Underlying returns the undirected graph obtained by forgetting arc
+// directions.
+func (g *Directed) Underlying() *Undirected {
+	u := NewUndirected(g.n)
+	for a := 0; a < g.n; a++ {
+		g.mat[a].ForEach(func(b int) {
+			u.AddEdge(a, b)
+		})
+	}
+	return u
+}
+
+// String renders a compact description such as "D(n=5, m=7)".
+func (g *Directed) String() string {
+	return fmt.Sprintf("D(n=%d, m=%d)", g.n, g.m)
+}
+
+// CheckInvariants validates internal consistency; it panics on violation.
+func (g *Directed) CheckInvariants() {
+	total := 0
+	inCount := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		if g.mat[u].Test(u) {
+			panic(fmt.Sprintf("graph: self-arc at %d", u))
+		}
+		if len(g.out[u]) != g.mat[u].Count() {
+			panic(fmt.Sprintf("graph: node %d out list %d != matrix %d",
+				u, len(g.out[u]), g.mat[u].Count()))
+		}
+		for _, v := range g.out[u] {
+			inCount[int(v)]++
+		}
+		total += len(g.out[u])
+	}
+	for v := 0; v < g.n; v++ {
+		if inCount[v] != g.in[v] {
+			panic(fmt.Sprintf("graph: node %d in-degree cache %d != actual %d",
+				v, g.in[v], inCount[v]))
+		}
+	}
+	if total != g.m {
+		panic(fmt.Sprintf("graph: out-degree sum %d != m %d", total, g.m))
+	}
+}

@@ -1,0 +1,288 @@
+// Package graph provides the dynamic graph substrate for the gossip
+// discovery processes of Haeupler et al. (SPAA 2012).
+//
+// Both discovery processes only ever *add* edges, and they drive the graph
+// toward the complete graph (undirected) or the transitive closure
+// (directed). The representation is therefore tuned for dense graphs and for
+// the two hot operations in the inner simulation loop:
+//
+//   - uniform random neighbor sampling: O(1) via per-node adjacency slices;
+//   - edge-membership tests: O(1) via a bitset adjacency matrix.
+//
+// Node identifiers are dense integers in [0, N()). Self-loops and parallel
+// edges are never stored; AddEdge reports whether an edge was new, which is
+// what round-commit deduplication and convergence accounting build on.
+package graph
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/bitset"
+	"gossipdisc/internal/rng"
+)
+
+// Edge is an undirected edge; for normalized edges U < V.
+type Edge struct {
+	U, V int
+}
+
+// Norm returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Norm() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Undirected is a simple undirected graph on nodes 0..n-1 supporting
+// edge insertion only (the discovery processes never delete edges; deletion
+// for churn experiments is handled by rebuilding, see RemoveNode).
+type Undirected struct {
+	n   int
+	adj [][]int32     // adjacency lists; adj[u] holds the neighbors of u
+	mat []*bitset.Set // adjacency matrix rows for O(1) membership
+	m   int           // number of edges
+}
+
+// NewUndirected returns an empty undirected graph on n nodes.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	g := &Undirected{
+		n:   n,
+		adj: make([][]int32, n),
+		mat: make([]*bitset.Set, n),
+	}
+	for i := range g.mat {
+		g.mat[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Undirected) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Undirected) M() int { return g.m }
+
+func (g *Undirected) checkNode(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v} and reports whether it was new.
+// Self-loops are ignored (returns false), matching the paper's processes
+// where a node introducing a neighbor to itself creates nothing.
+func (g *Undirected) AddEdge(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	if u == v || g.mat[u].Test(v) {
+		return false
+	}
+	g.mat[u].Set(v)
+	g.mat[v].Set(u)
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	return true
+}
+
+// HasEdge reports whether {u, v} is present. HasEdge(u, u) is always false.
+func (g *Undirected) HasEdge(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	return g.mat[u].Test(v)
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Undirected) Degree(u int) int {
+	g.checkNode(u)
+	return len(g.adj[u])
+}
+
+// Neighbor returns the i-th neighbor of u in insertion order.
+func (g *Undirected) Neighbor(u, i int) int {
+	g.checkNode(u)
+	return int(g.adj[u][i])
+}
+
+// RandomNeighbor returns a uniformly random neighbor of u, or -1 if u is
+// isolated.
+func (g *Undirected) RandomNeighbor(u int, r *rng.Rand) int {
+	g.checkNode(u)
+	d := len(g.adj[u])
+	if d == 0 {
+		return -1
+	}
+	return int(g.adj[u][r.Intn(d)])
+}
+
+// RandomNeighborPair returns two independent uniform samples from N(u),
+// with replacement — the triangulation process's choice of (v, w).
+// Both are -1 if u is isolated.
+func (g *Undirected) RandomNeighborPair(u int, r *rng.Rand) (int, int) {
+	g.checkNode(u)
+	d := len(g.adj[u])
+	if d == 0 {
+		return -1, -1
+	}
+	i, j := r.Sample2(d)
+	return int(g.adj[u][i]), int(g.adj[u][j])
+}
+
+// Neighbors appends the neighbors of u to dst and returns the result.
+// Pass nil to allocate. The returned order is insertion order.
+func (g *Undirected) Neighbors(u int, dst []int) []int {
+	g.checkNode(u)
+	for _, v := range g.adj[u] {
+		dst = append(dst, int(v))
+	}
+	return dst
+}
+
+// NeighborRow returns the bitset row of u's neighbors. The returned set is
+// live — callers must not modify it.
+func (g *Undirected) NeighborRow(u int) *bitset.Set {
+	g.checkNode(u)
+	return g.mat[u]
+}
+
+// Edges returns all edges with U < V, grouped by the smaller endpoint.
+func (g *Undirected) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		g.mat[u].ForEach(func(v int) {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		})
+	}
+	return out
+}
+
+// MinDegree returns the minimum degree δ of the graph, or 0 for n == 0.
+func (g *Undirected) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.n
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the maximum degree of the graph.
+func (g *Undirected) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsComplete reports whether every pair of distinct nodes is adjacent.
+func (g *Undirected) IsComplete() bool {
+	return g.m == g.n*(g.n-1)/2
+}
+
+// MissingEdges returns the number of node pairs not yet adjacent.
+func (g *Undirected) MissingEdges() int {
+	return g.n*(g.n-1)/2 - g.m
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Undirected) Clone() *Undirected {
+	c := &Undirected{
+		n:   g.n,
+		adj: make([][]int32, g.n),
+		mat: make([]*bitset.Set, g.n),
+		m:   g.m,
+	}
+	for u := 0; u < g.n; u++ {
+		c.adj[u] = append([]int32(nil), g.adj[u]...)
+		c.mat[u] = g.mat[u].Clone()
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node and edge sets.
+func (g *Undirected) Equal(h *Undirected) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if !g.mat[u].Equal(h.mat[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeHistogram returns hist where hist[d] is the number of nodes with
+// degree d; the slice has length MaxDegree()+1 (length 1 when n == 0).
+func (g *Undirected) DegreeHistogram() []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.n; u++ {
+		hist[len(g.adj[u])]++
+	}
+	return hist
+}
+
+// InducedSubgraph returns the subgraph induced by nodes (which must be
+// distinct and valid) relabeled to 0..len(nodes)-1, preserving node order.
+func (g *Undirected) InducedSubgraph(nodes []int) *Undirected {
+	idx := make(map[int]int, len(nodes))
+	for i, u := range nodes {
+		g.checkNode(u)
+		if _, dup := idx[u]; dup {
+			panic(fmt.Sprintf("graph: duplicate node %d in induced subgraph", u))
+		}
+		idx[u] = i
+	}
+	s := NewUndirected(len(nodes))
+	for i, u := range nodes {
+		for _, v32 := range g.adj[u] {
+			if j, ok := idx[int(v32)]; ok && i < j {
+				s.AddEdge(i, j)
+			}
+		}
+	}
+	return s
+}
+
+// String renders a compact description such as "U(n=5, m=4)".
+func (g *Undirected) String() string {
+	return fmt.Sprintf("U(n=%d, m=%d)", g.n, g.m)
+}
+
+// CheckInvariants validates internal consistency (adjacency lists vs matrix,
+// symmetry, no self-loops, edge count). It is used by tests and is cheap
+// enough to run after property-based mutations; it panics on violation.
+func (g *Undirected) CheckInvariants() {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		if g.mat[u].Test(u) {
+			panic(fmt.Sprintf("graph: self-loop at %d", u))
+		}
+		if len(g.adj[u]) != g.mat[u].Count() {
+			panic(fmt.Sprintf("graph: node %d adj list %d != matrix %d",
+				u, len(g.adj[u]), g.mat[u].Count()))
+		}
+		for _, v := range g.adj[u] {
+			if !g.mat[int(v)].Test(u) {
+				panic(fmt.Sprintf("graph: asymmetric edge %d-%d", u, v))
+			}
+		}
+		total += len(g.adj[u])
+	}
+	if total != 2*g.m {
+		panic(fmt.Sprintf("graph: degree sum %d != 2m %d", total, 2*g.m))
+	}
+}

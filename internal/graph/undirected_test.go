@@ -1,0 +1,443 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gossipdisc/internal/rng"
+)
+
+func pathGraph(n int) *Undirected {
+	g := NewUndirected(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func completeGraph(n int) *Undirected {
+	g := NewUndirected(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := NewUndirected(4)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("new edge reported as duplicate")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("reversed duplicate reported as new")
+	}
+	if g.AddEdge(2, 2) {
+		t.Fatal("self-loop reported as new")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge membership not symmetric")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("HasEdge(u,u) true")
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("phantom edge")
+	}
+	g.CheckInvariants()
+}
+
+func TestNodeRangePanics(t *testing.T) {
+	g := NewUndirected(3)
+	for _, f := range []func(){
+		func() { g.AddEdge(0, 3) },
+		func() { g.AddEdge(-1, 0) },
+		func() { g.HasEdge(3, 0) },
+		func() { g.Degree(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegreesAndHistogram(t *testing.T) {
+	g := pathGraph(5) // degrees 1,2,2,2,1
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(2))
+	}
+	if g.MinDegree() != 1 || g.MaxDegree() != 2 {
+		t.Fatalf("min/max %d/%d", g.MinDegree(), g.MaxDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 3 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestCompleteAndMissing(t *testing.T) {
+	g := completeGraph(6)
+	if !g.IsComplete() {
+		t.Fatal("K6 not complete")
+	}
+	if g.MissingEdges() != 0 {
+		t.Fatalf("missing %d", g.MissingEdges())
+	}
+	p := pathGraph(6)
+	if p.IsComplete() {
+		t.Fatal("path complete")
+	}
+	if p.MissingEdges() != 15-5 {
+		t.Fatalf("missing %d want 10", p.MissingEdges())
+	}
+}
+
+func TestRandomNeighborUniform(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	r := rng.New(1)
+	counts := map[int]int{}
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		counts[g.RandomNeighbor(0, r)]++
+	}
+	for v := 1; v <= 3; v++ {
+		rate := float64(counts[v]) / draws
+		if rate < 0.30 || rate > 0.37 {
+			t.Fatalf("neighbor %d rate %.3f", v, rate)
+		}
+	}
+	iso := NewUndirected(2)
+	if iso.RandomNeighbor(0, r) != -1 {
+		t.Fatal("isolated node returned a neighbor")
+	}
+}
+
+func TestRandomNeighborPairWithReplacement(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	r := rng.New(2)
+	same := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		a, b := g.RandomNeighborPair(0, r)
+		if a == -1 || b == -1 {
+			t.Fatal("pair from non-isolated node returned -1")
+		}
+		if a == b {
+			same++
+		}
+	}
+	rate := float64(same) / draws
+	// With replacement over 2 neighbors: P(same) = 1/2.
+	if rate < 0.47 || rate > 0.53 {
+		t.Fatalf("pair collision rate %.3f want ~0.5", rate)
+	}
+	iso := NewUndirected(1)
+	if a, b := iso.RandomNeighborPair(0, r); a != -1 || b != -1 {
+		t.Fatal("isolated pair not (-1,-1)")
+	}
+}
+
+func TestEdgesAndNeighbors(t *testing.T) {
+	g := pathGraph(4)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("edges %v", es)
+	}
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %v", e)
+		}
+	}
+	ns := g.Neighbors(1, nil)
+	if len(ns) != 2 {
+		t.Fatalf("neighbors of 1: %v", ns)
+	}
+	row := g.NeighborRow(1)
+	if !row.Test(0) || !row.Test(2) || row.Test(3) {
+		t.Fatalf("neighbor row wrong: %v", row)
+	}
+}
+
+func TestEdgeNorm(t *testing.T) {
+	if (Edge{3, 1}).Norm() != (Edge{1, 3}) {
+		t.Fatal("Norm failed")
+	}
+	if (Edge{1, 3}).Norm() != (Edge{1, 3}) {
+		t.Fatal("Norm changed ordered edge")
+	}
+}
+
+func TestCloneEqualIndependent(t *testing.T) {
+	g := pathGraph(5)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.AddEdge(0, 4)
+	if g.Equal(c) {
+		t.Fatal("mutation visible through clone")
+	}
+	if g.HasEdge(0, 4) {
+		t.Fatal("clone aliased parent")
+	}
+	g.CheckInvariants()
+	c.CheckInvariants()
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := completeGraph(5)
+	s := g.InducedSubgraph([]int{0, 2, 4})
+	if s.N() != 3 || !s.IsComplete() {
+		t.Fatalf("induced subgraph of K5 should be K3: %v", s)
+	}
+	p := pathGraph(5) // 0-1-2-3-4
+	s2 := p.InducedSubgraph([]int{0, 2, 4})
+	if s2.M() != 0 {
+		t.Fatalf("induced subgraph of alternating path nodes should be empty: %v", s2)
+	}
+	s3 := p.InducedSubgraph([]int{1, 2, 3})
+	if s3.M() != 2 || !s3.HasEdge(0, 1) || !s3.HasEdge(1, 2) {
+		t.Fatalf("induced path wrong: %v edges=%v", s3, s3.Edges())
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pathGraph(4).InducedSubgraph([]int{1, 1})
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := pathGraph(5)
+	d := g.BFSDistances(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Fatalf("dist[%d] = %d", i, d[i])
+		}
+	}
+	d2 := g.BFSDistances(2)
+	want := []int{2, 1, 0, 1, 2}
+	for i := range want {
+		if d2[i] != want[i] {
+			t.Fatalf("dist from 2: %v", d2)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	d := g.BFSDistances(0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Fatalf("unreachable nodes should be -1: %v", d)
+	}
+}
+
+func TestNeighborhoodSizesAndBall(t *testing.T) {
+	g := pathGraph(7)
+	sizes := g.NeighborhoodSizes(0, 4)
+	want := []int{1, 1, 1, 1, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes %v", sizes)
+		}
+	}
+	ball := g.Ball(0, 4)
+	if len(ball) != 4 {
+		t.Fatalf("ball %v", ball)
+	}
+	n2 := g.NodesAtDistance(3, 2)
+	if len(n2) != 2 {
+		t.Fatalf("N2(3) = %v", n2)
+	}
+}
+
+// Lemma 1 of the paper: |∪_{i=1..4} Nⁱ(u)| >= min{2δ, n-1} for connected
+// graphs. Verified on random connected graphs.
+func TestLemma1OnRandomGraphs(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + r.Intn(24)
+		g := randomConnected(n, r)
+		delta := g.MinDegree()
+		for u := 0; u < n; u++ {
+			ball := len(g.Ball(u, 4))
+			bound := 2 * delta
+			if n-1 < bound {
+				bound = n - 1
+			}
+			if ball < bound {
+				t.Fatalf("Lemma 1 violated: n=%d u=%d |ball4|=%d < min{2δ=%d, n-1=%d}",
+					n, u, ball, 2*delta, n-1)
+			}
+		}
+	}
+}
+
+// randomConnected builds a random connected graph: a random spanning tree
+// plus a few random extra edges.
+func randomConnected(n int, r *rng.Rand) *Undirected {
+	g := NewUndirected(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[r.Intn(i)])
+	}
+	extra := r.Intn(n)
+	for i := 0; i < extra; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+func TestConnectivityAndComponents(t *testing.T) {
+	g := NewUndirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes %v", comps)
+	}
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	if !g.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if len(g.ConnectedComponents()) != 1 {
+		t.Fatal("connected graph has >1 component")
+	}
+}
+
+func TestDiameterAndEccentricity(t *testing.T) {
+	g := pathGraph(5)
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("path diameter %d", d)
+	}
+	if e := g.Eccentricity(2); e != 2 {
+		t.Fatalf("center eccentricity %d", e)
+	}
+	k := completeGraph(5)
+	if d := k.Diameter(); d != 1 {
+		t.Fatalf("K5 diameter %d", d)
+	}
+	dis := NewUndirected(3)
+	dis.AddEdge(0, 1)
+	if dis.Diameter() != -1 {
+		t.Fatal("disconnected diameter should be -1")
+	}
+	empty := NewUndirected(0)
+	if empty.Diameter() != 0 {
+		t.Fatal("empty graph diameter")
+	}
+	single := NewUndirected(1)
+	if single.Diameter() != 0 {
+		t.Fatal("singleton diameter")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := pathGraph(3).String(); s != "U(n=3, m=2)" {
+		t.Fatalf("String %q", s)
+	}
+}
+
+// Property: adding edges in any order yields the same graph (edge sets,
+// degrees) regardless of insertion order.
+func TestQuickInsertionOrderIrrelevant(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		r := rng.New(seed)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bool() {
+					edges = append(edges, Edge{i, j})
+				}
+			}
+		}
+		a := NewUndirected(n)
+		for _, e := range edges {
+			a.AddEdge(e.U, e.V)
+		}
+		b := NewUndirected(n)
+		perm := r.Perm(len(edges))
+		for _, i := range perm {
+			b.AddEdge(edges[i].V, edges[i].U) // reversed endpoints too
+		}
+		a.CheckInvariants()
+		b.CheckInvariants()
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: degree sum equals 2m, membership matrix is symmetric.
+func TestQuickHandshake(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		g := randomConnected(n, r)
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+			for v := 0; v < n; v++ {
+				if g.HasEdge(u, v) != g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddEdgeDense(b *testing.B) {
+	n := 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewUndirected(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+func BenchmarkRandomNeighbor(b *testing.B) {
+	g := completeGraph(512)
+	r := rng.New(1)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += g.RandomNeighbor(i%512, r)
+	}
+	_ = sink
+}

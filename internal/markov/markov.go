@@ -1,0 +1,253 @@
+// Package markov computes *exact* expected convergence times of the gossip
+// discovery processes on small graphs by dynamic programming over the
+// Markov chain of graph states.
+//
+// Because both processes only ever add edges, the state space — edge
+// subsets of K_n ordered by inclusion — is a DAG (apart from self-loops),
+// so expected absorption times follow by a reverse-topological sweep:
+//
+//	E[T(s)] = (1 + Σ_{s' ⊋ s} P(s→s')·E[T(s')]) / (1 − P(s→s))
+//
+// with E[T(complete)] = 0 and no linear solver required.
+//
+// The per-round transition distribution is the product over nodes of each
+// node's outcome distribution (all nodes act simultaneously on the round-
+// start state — the paper's synchronous semantics). Enumerating the product
+// is exponential in n; the solver supports n ≤ MaxNodes = 5, which is all
+// the Figure 1(c) analysis needs and is plenty to cross-validate the
+// Monte-Carlo simulator.
+package markov
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gossipdisc/internal/graph"
+)
+
+// MaxNodes is the largest node count the exact solver accepts.
+const MaxNodes = 5
+
+// State is a graph on a fixed small node set encoded as a bitmask over the
+// C(n,2) node pairs (see PairIndex for bit positions).
+type State uint32
+
+// PairIndex returns the bit position of pair {u, v}, u != v, under the
+// ordering (0,1)=0, (0,2)=1, ..., (0,n-1), (1,2), ...
+func PairIndex(n, u, v int) int {
+	if u == v {
+		panic("markov: self pair")
+	}
+	if u > v {
+		u, v = v, u
+	}
+	// Pairs with smaller endpoint < u: sum_{i<u} (n-1-i).
+	return u*(2*n-u-1)/2 + (v - u - 1)
+}
+
+// Encode converts a graph (n <= MaxNodes) to a State.
+func Encode(g *graph.Undirected) State {
+	n := g.N()
+	if n > MaxNodes {
+		panic(fmt.Sprintf("markov: %d nodes exceeds MaxNodes=%d", n, MaxNodes))
+	}
+	var s State
+	for _, e := range g.Edges() {
+		s |= 1 << PairIndex(n, e.U, e.V)
+	}
+	return s
+}
+
+// Decode converts a State back to a graph on n nodes.
+func Decode(s State, n int) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s&(1<<PairIndex(n, u, v)) != 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteState returns the absorbing (complete-graph) state for n nodes.
+func CompleteState(n int) State {
+	return State(1)<<(n*(n-1)/2) - 1
+}
+
+// Outcome is one possible result of a single node's round action: the set
+// of edge bits it proposes (0 = no edge) with its probability.
+type Outcome struct {
+	Edges State
+	P     float64
+}
+
+// Kernel defines a process by each node's per-round outcome distribution in
+// a given state. Implementations must return outcomes with probabilities
+// summing to 1 (within floating-point error) and pairwise distinct Edges.
+type Kernel interface {
+	Name() string
+	// Outcomes returns node u's outcome distribution in state s on n nodes.
+	// adj[x] is the neighbor list of x in s (shared, read-only).
+	Outcomes(n int, adj [][]int, u int) []Outcome
+}
+
+// PushKernel is the triangulation process: node u picks two neighbors
+// v, w independently and uniformly (with replacement) and proposes {v, w}.
+type PushKernel struct{}
+
+// Name implements Kernel.
+func (PushKernel) Name() string { return "push" }
+
+// Outcomes implements Kernel.
+func (PushKernel) Outcomes(n int, adj [][]int, u int) []Outcome {
+	d := len(adj[u])
+	if d == 0 {
+		return []Outcome{{Edges: 0, P: 1}}
+	}
+	dd := float64(d * d)
+	outs := []Outcome{{Edges: 0, P: float64(d) / dd}} // v == w
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			bit := State(1) << PairIndex(n, adj[u][i], adj[u][j])
+			outs = append(outs, Outcome{Edges: bit, P: 2 / dd})
+		}
+	}
+	return outs
+}
+
+// PullKernel is the two-hop walk: node u picks neighbor v uniformly, then a
+// neighbor w of v uniformly, and proposes {u, w} (nothing if w == u).
+type PullKernel struct{}
+
+// Name implements Kernel.
+func (PullKernel) Name() string { return "pull" }
+
+// Outcomes implements Kernel.
+func (PullKernel) Outcomes(n int, adj [][]int, u int) []Outcome {
+	d := len(adj[u])
+	if d == 0 {
+		return []Outcome{{Edges: 0, P: 1}}
+	}
+	probByTarget := make(map[int]float64)
+	noneP := 0.0
+	for _, v := range adj[u] {
+		dv := float64(len(adj[v]))
+		for _, w := range adj[v] {
+			p := 1 / (float64(d) * dv)
+			if w == u {
+				noneP += p
+			} else {
+				probByTarget[w] += p
+			}
+		}
+	}
+	outs := make([]Outcome, 0, len(probByTarget)+1)
+	if noneP > 0 {
+		outs = append(outs, Outcome{Edges: 0, P: noneP})
+	}
+	for w := 0; w < n; w++ { // deterministic order
+		if p, ok := probByTarget[w]; ok {
+			outs = append(outs, Outcome{Edges: State(1) << PairIndex(n, u, w), P: p})
+		}
+	}
+	return outs
+}
+
+// adjacency builds neighbor lists for state s on n nodes.
+func adjacency(s State, n int) [][]int {
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s&(1<<PairIndex(n, u, v)) != 0 {
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	return adj
+}
+
+// Transitions returns the one-round transition distribution out of state s:
+// a map from successor state to probability (including the self-loop).
+func Transitions(s State, n int, k Kernel) map[State]float64 {
+	adj := adjacency(s, n)
+	perNode := make([][]Outcome, n)
+	for u := 0; u < n; u++ {
+		perNode[u] = k.Outcomes(n, adj, u)
+	}
+	trans := make(map[State]float64)
+	var rec func(u int, p float64, acc State)
+	rec = func(u int, p float64, acc State) {
+		if u == n {
+			trans[s|acc] += p
+			return
+		}
+		for _, o := range perNode[u] {
+			rec(u+1, p*o.P, acc|o.Edges)
+		}
+	}
+	rec(0, 1, 0)
+	return trans
+}
+
+// ExpectedTime returns the exact expected number of rounds for the process
+// defined by k to converge to the complete graph starting from g. The graph
+// must be connected (otherwise absorption never happens and ExpectedTime
+// panics) and have 2 <= n <= MaxNodes nodes.
+func ExpectedTime(g *graph.Undirected, k Kernel) float64 {
+	n := g.N()
+	if n < 2 || n > MaxNodes {
+		panic(fmt.Sprintf("markov: ExpectedTime needs 2..%d nodes, got %d", MaxNodes, n))
+	}
+	if !g.IsConnected() {
+		panic("markov: ExpectedTime requires a connected graph")
+	}
+	s0 := Encode(g)
+	complete := CompleteState(n)
+
+	// Every reachable state is a superset of s0. Enumerate supersets and
+	// process them in decreasing popcount (reverse-topological) order.
+	free := uint32(complete &^ s0) // bits that can still be added
+	supersets := make([]State, 0, 1<<bits.OnesCount32(free))
+	sub := free
+	for {
+		supersets = append(supersets, s0|State(sub))
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & free
+	}
+	// supersets generated in decreasing submask order is not sorted by
+	// popcount; bucket them.
+	maxBits := n * (n - 1) / 2
+	byCount := make([][]State, maxBits+1)
+	for _, s := range supersets {
+		c := bits.OnesCount32(uint32(s))
+		byCount[c] = append(byCount[c], s)
+	}
+
+	e := make(map[State]float64, len(supersets))
+	e[complete] = 0
+	for c := maxBits - 1; c >= 0; c-- {
+		for _, s := range byCount[c] {
+			if s == complete {
+				continue
+			}
+			trans := Transitions(s, n, k)
+			selfP := trans[s]
+			if selfP >= 1 {
+				panic(fmt.Sprintf("markov: state %b cannot make progress", s))
+			}
+			sum := 1.0
+			for sp, p := range trans {
+				if sp != s {
+					sum += p * e[sp]
+				}
+			}
+			e[s] = sum / (1 - selfP)
+		}
+	}
+	return e[s0]
+}

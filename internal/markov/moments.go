@@ -1,0 +1,90 @@
+package markov
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gossipdisc/internal/graph"
+)
+
+// Moments holds the exact first two moments of the convergence time.
+type Moments struct {
+	Mean     float64
+	Variance float64
+}
+
+// ExpectedMoments returns the exact mean and variance of the number of
+// rounds to convergence from g under kernel k (same constraints as
+// ExpectedTime: connected, 2 ≤ n ≤ MaxNodes).
+//
+// Both moments come from one reverse-topological sweep: with T_s the
+// absorption time from state s and P the one-round kernel,
+//
+//	E[T_s]  = (1 + Σ_{s'≠s} P(s,s')·E[T_{s'}]) / (1 − P(s,s))
+//	E[T_s²] = (1 + 2·Σ_{s'} P(s,s')·E[T_{s'}] + Σ_{s'≠s} P(s,s')·E[T_{s'}²])
+//	          / (1 − P(s,s))
+//
+// where the second recurrence's middle sum may include the (already
+// computed) self term E[T_s].
+func ExpectedMoments(g *graph.Undirected, k Kernel) Moments {
+	n := g.N()
+	if n < 2 || n > MaxNodes {
+		panic(fmt.Sprintf("markov: ExpectedMoments needs 2..%d nodes, got %d", MaxNodes, n))
+	}
+	if !g.IsConnected() {
+		panic("markov: ExpectedMoments requires a connected graph")
+	}
+	s0 := Encode(g)
+	complete := CompleteState(n)
+
+	free := uint32(complete &^ s0)
+	supersets := make([]State, 0, 1<<bits.OnesCount32(free))
+	sub := free
+	for {
+		supersets = append(supersets, s0|State(sub))
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & free
+	}
+	maxBits := n * (n - 1) / 2
+	byCount := make([][]State, maxBits+1)
+	for _, s := range supersets {
+		c := bits.OnesCount32(uint32(s))
+		byCount[c] = append(byCount[c], s)
+	}
+
+	e1 := map[State]float64{complete: 0}
+	e2 := map[State]float64{complete: 0}
+	for c := maxBits - 1; c >= 0; c-- {
+		for _, s := range byCount[c] {
+			if s == complete {
+				continue
+			}
+			trans := Transitions(s, n, k)
+			selfP := trans[s]
+			if selfP >= 1 {
+				panic(fmt.Sprintf("markov: state %b cannot make progress", s))
+			}
+			sum1 := 1.0
+			for sp, p := range trans {
+				if sp != s {
+					sum1 += p * e1[sp]
+				}
+			}
+			mean := sum1 / (1 - selfP)
+			e1[s] = mean
+
+			sum2 := 1.0
+			for sp, p := range trans {
+				sum2 += 2 * p * e1[sp] // e1[s] is already set above
+				if sp != s {
+					sum2 += p * e2[sp]
+				}
+			}
+			e2[s] = sum2 / (1 - selfP)
+		}
+	}
+	m := e1[s0]
+	return Moments{Mean: m, Variance: e2[s0] - m*m}
+}

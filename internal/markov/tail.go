@@ -1,0 +1,95 @@
+package markov
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gossipdisc/internal/graph"
+)
+
+// TailDistribution returns the exact survival function of the convergence
+// time: out[t] = P(T > t) for t = 0..maxT, starting from g under kernel k.
+//
+// It evolves the exact state-probability vector over the superset lattice
+// of the start state; because the chain is absorbing with geometric-decay
+// tails, this also certifies the paper's with-high-probability statements
+// exactly on small instances.
+func TailDistribution(g *graph.Undirected, k Kernel, maxT int) []float64 {
+	n := g.N()
+	if n < 2 || n > MaxNodes {
+		panic(fmt.Sprintf("markov: TailDistribution needs 2..%d nodes, got %d", MaxNodes, n))
+	}
+	if !g.IsConnected() {
+		panic("markov: TailDistribution requires a connected graph")
+	}
+	if maxT < 0 {
+		panic("markov: negative horizon")
+	}
+	s0 := Encode(g)
+	complete := CompleteState(n)
+
+	// Index the reachable superset states.
+	free := uint32(complete &^ s0)
+	idx := make(map[State]int)
+	var states []State
+	sub := free
+	for {
+		s := s0 | State(sub)
+		idx[s] = len(states)
+		states = append(states, s)
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & free
+	}
+
+	// Precompute sparse transition rows.
+	type entry struct {
+		to int
+		p  float64
+	}
+	rows := make([][]entry, len(states))
+	for i, s := range states {
+		if s == complete {
+			rows[i] = []entry{{i, 1}}
+			continue
+		}
+		trans := Transitions(s, n, k)
+		row := make([]entry, 0, len(trans))
+		for sp, p := range trans {
+			row = append(row, entry{idx[sp], p})
+		}
+		rows[i] = row
+	}
+
+	pi := make([]float64, len(states))
+	next := make([]float64, len(states))
+	pi[idx[s0]] = 1
+	out := make([]float64, maxT+1)
+	out[0] = 1 - pi[idx[complete]]
+	for t := 1; t <= maxT; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range pi {
+			if p == 0 {
+				continue
+			}
+			for _, e := range rows[i] {
+				next[e.to] += p * e.p
+			}
+		}
+		pi, next = next, pi
+		out[t] = 1 - pi[idx[complete]]
+		if out[t] < 0 {
+			out[t] = 0 // floating-point dust
+		}
+	}
+	return out
+}
+
+// stateCount returns the number of reachable states from s0 (exported for
+// capacity reasoning in tests).
+func stateCount(s0, complete State) int {
+	return 1 << bits.OnesCount32(uint32(complete&^s0))
+}

@@ -1,0 +1,126 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+)
+
+func TestTailPath3PushIsGeometric(t *testing.T) {
+	// Push on P3: one missing edge added w.p. 1/2 per round, so
+	// P(T > t) = (1/2)^t exactly.
+	tail := TailDistribution(gen.Path(3), PushKernel{}, 12)
+	for tt, p := range tail {
+		want := math.Pow(0.5, float64(tt))
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("P(T>%d) = %v want %v", tt, p, want)
+		}
+	}
+}
+
+func TestTailPath3PullIsGeometric(t *testing.T) {
+	// Pull on P3: success probability 3/4 per round: P(T > t) = (1/4)^t.
+	tail := TailDistribution(gen.Path(3), PullKernel{}, 10)
+	for tt, p := range tail {
+		want := math.Pow(0.25, float64(tt))
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("P(T>%d) = %v want %v", tt, p, want)
+		}
+	}
+}
+
+func TestTailMatchesExpectedTime(t *testing.T) {
+	// E[T] = Σ_{t>=0} P(T > t). The horizon must capture essentially all
+	// mass; verify against the DP solver.
+	for _, k := range []Kernel{PushKernel{}, PullKernel{}} {
+		for _, g := range []*graph.Undirected{
+			gen.Path(4), gen.Star(4), gen.Cycle(5), gen.Fig1cGraph(),
+		} {
+			exact := ExpectedTime(g, k)
+			horizon := int(exact*40) + 50
+			tail := TailDistribution(g, k, horizon)
+			sum := 0.0
+			for _, p := range tail {
+				sum += p
+			}
+			if math.Abs(sum-exact) > 1e-6*exact+1e-9 {
+				t.Fatalf("%s on %v: Σ tail %v vs E[T] %v", k.Name(), g, sum, exact)
+			}
+		}
+	}
+}
+
+func TestTailMonotoneAndNormalized(t *testing.T) {
+	tail := TailDistribution(gen.Cycle(5), PushKernel{}, 200)
+	if tail[0] != 1 {
+		t.Fatalf("P(T>0) = %v want 1 for incomplete start", tail[0])
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i] > tail[i-1]+1e-12 {
+			t.Fatalf("tail not monotone at %d: %v > %v", i, tail[i], tail[i-1])
+		}
+		if tail[i] < 0 || tail[i] > 1 {
+			t.Fatalf("tail out of range at %d: %v", i, tail[i])
+		}
+	}
+	if tail[len(tail)-1] > 1e-6 {
+		t.Fatalf("tail did not vanish: %v", tail[len(tail)-1])
+	}
+}
+
+func TestTailCompleteStart(t *testing.T) {
+	tail := TailDistribution(gen.Complete(4), PushKernel{}, 3)
+	for tt, p := range tail {
+		if p != 0 {
+			t.Fatalf("complete start: P(T>%d) = %v", tt, p)
+		}
+	}
+}
+
+func TestTailExponentialDecay(t *testing.T) {
+	// The w.h.p. statements require geometric tails: P(T > 2m)/P(T > m)
+	// must be well below 1 once past the bulk.
+	g := gen.Fig1cGraph()
+	e := ExpectedTime(g, PushKernel{})
+	m := int(3 * e)
+	tail := TailDistribution(g, PushKernel{}, 2*m)
+	if tail[m] <= 0 {
+		t.Skip("tail already vanished — decay trivially holds")
+	}
+	ratio := tail[2*m] / tail[m]
+	if ratio > 0.2 {
+		t.Fatalf("tail decays too slowly: P(T>%d)/P(T>%d) = %v", 2*m, m, ratio)
+	}
+}
+
+func TestTailPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { TailDistribution(gen.Path(6), PushKernel{}, 5) },
+		func() { TailDistribution(gen.Path(4), PushKernel{}, -1) },
+		func() {
+			g := graph.NewUndirected(4)
+			g.AddEdge(0, 1)
+			TailDistribution(g, PushKernel{}, 5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStateCount(t *testing.T) {
+	if c := stateCount(0, CompleteState(4)); c != 64 {
+		t.Fatalf("stateCount from empty: %d", c)
+	}
+	if c := stateCount(CompleteState(4), CompleteState(4)); c != 1 {
+		t.Fatalf("stateCount from complete: %d", c)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+// This file implements the network-evolution observables the paper's
+// introduction motivates for the social-network application: "how and when
+// do clusters emerge? how does the diameter change with time?" and
+// "predicting the sizes of the immediate neighbors as well as the sizes of
+// the second and third-degree neighbors (these are listed for every node in
+// LinkedIn)". Experiment E17 tracks these along discovery trajectories.
+
+import (
+	"gossipdisc/internal/graph"
+)
+
+// TriangleCount returns the number of triangles in g, computed by counting,
+// for every edge {u, v} with u < v, the common neighbors w > v via bitset
+// row intersection — O(m · n/64) words.
+func TriangleCount(g *graph.Undirected) int {
+	n := g.N()
+	total := 0
+	for u := 0; u < n; u++ {
+		row := g.NeighborRow(u)
+		for _, v := range g.Neighbors(u, nil) {
+			if v <= u {
+				continue
+			}
+			// Count common neighbors w with w > v to count each triangle
+			// exactly once (u < v < w).
+			common := row.Clone()
+			common.IntersectWith(g.NeighborRow(v))
+			common.ForEach(func(w int) {
+				if w > v {
+					total++
+				}
+			})
+		}
+	}
+	return total
+}
+
+// GlobalClustering returns the global clustering coefficient
+// 3·triangles / open-and-closed-wedges (0 when the graph has no wedge).
+func GlobalClustering(g *graph.Undirected) float64 {
+	wedges := 0
+	for u := 0; u < g.N(); u++ {
+		d := g.Degree(u)
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(TriangleCount(g)) / float64(wedges)
+}
+
+// LocalClustering returns node u's local clustering coefficient: the edge
+// density among u's neighbors (0 for degree < 2).
+func LocalClustering(g *graph.Undirected, u int) float64 {
+	neigh := g.Neighbors(u, nil)
+	d := len(neigh)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i, a := range neigh {
+		for _, b := range neigh[i+1:] {
+			if g.HasEdge(a, b) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// MeanLocalClustering returns the average local clustering coefficient
+// (the Watts–Strogatz network clustering measure).
+func MeanLocalClustering(g *graph.Undirected) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		sum += LocalClustering(g, u)
+	}
+	return sum / float64(n)
+}
+
+// NeighborhoodProfile returns the mean sizes of the distance-1, -2 and -3
+// neighborhoods over all nodes — LinkedIn's 1st/2nd/3rd-degree connection
+// counts.
+func NeighborhoodProfile(g *graph.Undirected) (n1, n2, n3 float64) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for u := 0; u < n; u++ {
+		sizes := g.NeighborhoodSizes(u, 3)
+		n1 += float64(sizes[1])
+		n2 += float64(sizes[2])
+		n3 += float64(sizes[3])
+	}
+	fn := float64(n)
+	return n1 / fn, n2 / fn, n3 / fn
+}
+
+// EvolutionSnapshot captures the §1 observables at one round.
+type EvolutionSnapshot struct {
+	Round      int
+	Edges      int
+	Diameter   int
+	Clustering float64 // global clustering coefficient
+	MeanN1     float64 // mean 1st-degree neighborhood size
+	MeanN2     float64 // mean 2nd-degree neighborhood size
+	MeanN3     float64 // mean 3rd-degree neighborhood size
+}
+
+// TakeEvolution computes an EvolutionSnapshot (O(n·m) for the diameter).
+func TakeEvolution(round int, g *graph.Undirected) EvolutionSnapshot {
+	n1, n2, n3 := NeighborhoodProfile(g)
+	return EvolutionSnapshot{
+		Round:      round,
+		Edges:      g.M(),
+		Diameter:   g.Diameter(),
+		Clustering: GlobalClustering(g),
+		MeanN1:     n1,
+		MeanN2:     n2,
+		MeanN3:     n3,
+	}
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+func TestTriangleCount(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Undirected
+		want int
+	}{
+		{"K3", gen.Complete(3), 1},
+		{"K4", gen.Complete(4), 4},
+		{"K5", gen.Complete(5), 10},
+		{"path5", gen.Path(5), 0},
+		{"cycle4", gen.Cycle(4), 0},
+		{"star6", gen.Star(6), 0},
+		{"paw", gen.Fig1cGraph(), 1},
+		{"empty", graph.NewUndirected(4), 0},
+	}
+	for _, c := range cases {
+		if got := TriangleCount(c.g); got != c.want {
+			t.Fatalf("%s: triangles %d want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTriangleCountMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(15)
+		g := gen.ConnectedER(n, 0.3, r)
+		naive := 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for c := b + 1; c < n; c++ {
+					if g.HasEdge(a, b) && g.HasEdge(b, c) && g.HasEdge(a, c) {
+						naive++
+					}
+				}
+			}
+		}
+		if got := TriangleCount(g); got != naive {
+			t.Fatalf("trial %d: triangles %d naive %d", trial, got, naive)
+		}
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	if c := GlobalClustering(gen.Complete(5)); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("K5 clustering %v", c)
+	}
+	if c := GlobalClustering(gen.Star(6)); c != 0 {
+		t.Fatalf("star clustering %v", c)
+	}
+	if c := GlobalClustering(graph.NewUndirected(3)); c != 0 {
+		t.Fatalf("empty clustering %v", c)
+	}
+	// Paw: 1 triangle, wedges: deg hist 1,2,2,3 -> 0+1+1+3 = 5; C = 3/5.
+	if c := GlobalClustering(gen.Fig1cGraph()); math.Abs(c-0.6) > 1e-12 {
+		t.Fatalf("paw clustering %v want 0.6", c)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	g := gen.Fig1cGraph() // triangle 0,1,2 + pendant 3 on 2
+	if c := LocalClustering(g, 0); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("node 0 local clustering %v", c)
+	}
+	// Node 2 has neighbors {0,1,3}; only {0,1} linked: 1 of 3 pairs.
+	if c := LocalClustering(g, 2); math.Abs(c-1.0/3) > 1e-12 {
+		t.Fatalf("node 2 local clustering %v", c)
+	}
+	if c := LocalClustering(g, 3); c != 0 {
+		t.Fatalf("pendant local clustering %v", c)
+	}
+}
+
+func TestMeanLocalClustering(t *testing.T) {
+	// Paw: nodes 0,1 have C=1; node 2 has 1/3; node 3 has 0 → mean 7/12.
+	if c := MeanLocalClustering(gen.Fig1cGraph()); math.Abs(c-7.0/12) > 1e-12 {
+		t.Fatalf("paw mean local clustering %v want %v", c, 7.0/12)
+	}
+	if c := MeanLocalClustering(graph.NewUndirected(0)); c != 0 {
+		t.Fatalf("empty mean clustering %v", c)
+	}
+}
+
+func TestNeighborhoodProfile(t *testing.T) {
+	// Path 0-1-2: N1 sizes (1,2,1) mean 4/3; N2 sizes (1,0,1) mean 2/3.
+	n1, n2, n3 := NeighborhoodProfile(gen.Path(3))
+	if math.Abs(n1-4.0/3) > 1e-12 || math.Abs(n2-2.0/3) > 1e-12 || n3 != 0 {
+		t.Fatalf("path3 profile %v %v %v", n1, n2, n3)
+	}
+	// Complete graph: N1 = n-1, no 2-hop nodes.
+	n1, n2, _ = NeighborhoodProfile(gen.Complete(6))
+	if n1 != 5 || n2 != 0 {
+		t.Fatalf("K6 profile %v %v", n1, n2)
+	}
+}
+
+func TestTakeEvolution(t *testing.T) {
+	s := TakeEvolution(7, gen.Cycle(6))
+	if s.Round != 7 || s.Edges != 6 || s.Diameter != 3 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Clustering != 0 {
+		t.Fatalf("cycle clustering %v", s.Clustering)
+	}
+	if s.MeanN1 != 2 || s.MeanN2 != 2 || s.MeanN3 != 1 {
+		t.Fatalf("cycle profile %+v", s)
+	}
+}

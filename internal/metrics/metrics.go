@@ -1,0 +1,151 @@
+// Package metrics computes the graph observables the paper's analysis
+// tracks: minimum degree (the proofs' progress measure), missing edges,
+// neighborhood structure, and per-round trajectories.
+package metrics
+
+import (
+	"gossipdisc/internal/graph"
+)
+
+// Snapshot is a per-round summary of an undirected graph's state.
+type Snapshot struct {
+	Round     int
+	Edges     int
+	Missing   int
+	MinDegree int
+	MaxDegree int
+}
+
+// Take summarizes g at the given round.
+func Take(round int, g *graph.Undirected) Snapshot {
+	return Snapshot{
+		Round:     round,
+		Edges:     g.M(),
+		Missing:   g.MissingEdges(),
+		MinDegree: g.MinDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+}
+
+// Trajectory records a time series of snapshots. Its Observe method plugs
+// directly into sim.Config.Observer; pass Every > 1 to subsample rounds
+// (the final converged round is always captured because convergence implies
+// MinDegree == n-1, observed at the last call).
+type Trajectory struct {
+	Every     int
+	Snapshots []Snapshot
+}
+
+// Observe implements the sim observer signature.
+func (t *Trajectory) Observe(round int, g *graph.Undirected) {
+	every := t.Every
+	if every <= 0 {
+		every = 1
+	}
+	if round%every == 0 || g.IsComplete() {
+		t.Snapshots = append(t.Snapshots, Take(round, g))
+	}
+}
+
+// MinDegrees returns the minimum-degree series of the trajectory.
+func (t *Trajectory) MinDegrees() []int {
+	out := make([]int, len(t.Snapshots))
+	for i, s := range t.Snapshots {
+		out[i] = s.MinDegree
+	}
+	return out
+}
+
+// RoundsToMinDegree returns the first recorded round at which the minimum
+// degree reached at least target, or -1 if it never did.
+func (t *Trajectory) RoundsToMinDegree(target int) int {
+	for _, s := range t.Snapshots {
+		if s.MinDegree >= target {
+			return s.Round
+		}
+	}
+	return -1
+}
+
+// GrowthEpochs returns, for each doubling target δ₀·(1+1/8)^k (the paper's
+// growth factor), the first round where the minimum degree reached it. The
+// series ends when the target exceeds n-1 (capped there). This is the
+// empirical counterpart of the Theorem 8/12 proof engine: each epoch should
+// cost O(n log n) rounds.
+func (t *Trajectory) GrowthEpochs(delta0, n int) []int {
+	if delta0 < 1 {
+		delta0 = 1
+	}
+	var rounds []int
+	target := float64(delta0)
+	for {
+		target *= 1.125
+		goal := int(target)
+		if goal > n-1 {
+			goal = n - 1
+		}
+		r := t.RoundsToMinDegree(goal)
+		rounds = append(rounds, r)
+		if goal == n-1 {
+			return rounds
+		}
+	}
+}
+
+// SubsetComplete returns a sim Done predicate that fires when the subgraph
+// induced by nodes is complete — the paper's subgroup-discovery criterion.
+func SubsetComplete(nodes []int) func(*graph.Undirected) bool {
+	return func(g *graph.Undirected) bool {
+		for i, u := range nodes {
+			for _, v := range nodes[i+1:] {
+				if u != v && !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// AliveComplete returns a sim Done predicate that fires when all pairs of
+// alive nodes are adjacent (the convergence target under crash failures).
+func AliveComplete(alive []bool) func(*graph.Undirected) bool {
+	return func(g *graph.Undirected) bool {
+		n := g.N()
+		for u := 0; u < n; u++ {
+			if !alive[u] {
+				continue
+			}
+			for v := u + 1; v < n; v++ {
+				if alive[v] && !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// DirectedSnapshot is a per-round summary of a directed graph's state.
+type DirectedSnapshot struct {
+	Round int
+	Arcs  int
+}
+
+// DirectedTrajectory records directed snapshots; Observe plugs into
+// sim.DirectedConfig.Observer.
+type DirectedTrajectory struct {
+	Every     int
+	Snapshots []DirectedSnapshot
+}
+
+// Observe implements the directed sim observer signature.
+func (t *DirectedTrajectory) Observe(round int, g *graph.Directed) {
+	every := t.Every
+	if every <= 0 {
+		every = 1
+	}
+	if round%every == 0 {
+		t.Snapshots = append(t.Snapshots, DirectedSnapshot{Round: round, Arcs: g.M()})
+	}
+}

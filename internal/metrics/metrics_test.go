@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+func TestTakeSnapshot(t *testing.T) {
+	g := gen.Path(5)
+	s := Take(3, g)
+	if s.Round != 3 || s.Edges != 4 || s.Missing != 6 || s.MinDegree != 1 || s.MaxDegree != 2 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestTrajectoryRecordsMonotoneMinDegree(t *testing.T) {
+	g := gen.Cycle(10)
+	traj := &Trajectory{}
+	res := sim.Run(g, core.Push{}, rng.New(1), sim.Config{Observer: traj.Observe})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(traj.Snapshots) != res.Rounds {
+		t.Fatalf("snapshots %d rounds %d", len(traj.Snapshots), res.Rounds)
+	}
+	mds := traj.MinDegrees()
+	for i := 1; i < len(mds); i++ {
+		if mds[i] < mds[i-1] {
+			t.Fatalf("min degree decreased: %v", mds)
+		}
+	}
+	if mds[len(mds)-1] != 9 {
+		t.Fatalf("final min degree %d want 9", mds[len(mds)-1])
+	}
+}
+
+func TestTrajectorySubsampling(t *testing.T) {
+	g := gen.Path(12)
+	traj := &Trajectory{Every: 5}
+	res := sim.Run(g, core.Push{}, rng.New(2), sim.Config{Observer: traj.Observe})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(traj.Snapshots) >= res.Rounds {
+		t.Fatalf("subsampling ineffective: %d snapshots for %d rounds",
+			len(traj.Snapshots), res.Rounds)
+	}
+	// Final snapshot must capture the complete graph.
+	last := traj.Snapshots[len(traj.Snapshots)-1]
+	if last.Missing != 0 {
+		t.Fatalf("final snapshot missing=%d", last.Missing)
+	}
+}
+
+func TestRoundsToMinDegree(t *testing.T) {
+	traj := &Trajectory{Snapshots: []Snapshot{
+		{Round: 1, MinDegree: 1},
+		{Round: 5, MinDegree: 3},
+		{Round: 9, MinDegree: 7},
+	}}
+	if r := traj.RoundsToMinDegree(3); r != 5 {
+		t.Fatalf("RoundsToMinDegree(3) = %d", r)
+	}
+	if r := traj.RoundsToMinDegree(2); r != 5 {
+		t.Fatalf("RoundsToMinDegree(2) = %d", r)
+	}
+	if r := traj.RoundsToMinDegree(8); r != -1 {
+		t.Fatalf("RoundsToMinDegree(8) = %d", r)
+	}
+}
+
+func TestGrowthEpochs(t *testing.T) {
+	g := gen.Cycle(16)
+	traj := &Trajectory{}
+	sim.Run(g, core.Push{}, rng.New(3), sim.Config{Observer: traj.Observe})
+	epochs := traj.GrowthEpochs(2, 16)
+	if len(epochs) == 0 {
+		t.Fatal("no epochs")
+	}
+	// Every epoch must be reached (graph completes), and rounds must be
+	// non-decreasing.
+	prev := 0
+	for i, e := range epochs {
+		if e < 0 {
+			t.Fatalf("epoch %d unreached: %v", i, epochs)
+		}
+		if e < prev {
+			t.Fatalf("epochs not monotone: %v", epochs)
+		}
+		prev = e
+	}
+}
+
+func TestSubsetComplete(t *testing.T) {
+	g := gen.Path(6)
+	done := SubsetComplete([]int{0, 1, 2})
+	if done(g) {
+		t.Fatal("path subset complete")
+	}
+	g.AddEdge(0, 2)
+	if !done(g) {
+		t.Fatal("triangle subset not detected")
+	}
+	// Rest of graph irrelevant.
+	if !SubsetComplete([]int{4})(g) {
+		t.Fatal("singleton subset should always be complete")
+	}
+}
+
+func TestAliveComplete(t *testing.T) {
+	g := gen.Complete(4)
+	alive := []bool{true, true, false, true}
+	if !AliveComplete(alive)(g) {
+		t.Fatal("complete graph alive-incomplete")
+	}
+	h := gen.Path(4)
+	if AliveComplete(alive)(h) {
+		t.Fatal("path alive-complete")
+	}
+	// Only pairs among alive nodes matter: 0-1, 0-3, 1-3.
+	h.AddEdge(0, 3)
+	h.AddEdge(1, 3)
+	if !AliveComplete(alive)(h) {
+		t.Fatal("alive pairs covered but not detected")
+	}
+}
+
+func TestDirectedTrajectory(t *testing.T) {
+	g := gen.DirectedCycle(6)
+	traj := &DirectedTrajectory{}
+	res := sim.RunDirected(g, core.DirectedTwoHop{}, rng.New(4), sim.DirectedConfig{
+		Observer: traj.Observe,
+	})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(traj.Snapshots) != res.Rounds {
+		t.Fatalf("snapshots %d rounds %d", len(traj.Snapshots), res.Rounds)
+	}
+	for i := 1; i < len(traj.Snapshots); i++ {
+		if traj.Snapshots[i].Arcs < traj.Snapshots[i-1].Arcs {
+			t.Fatal("arc count decreased")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package netsim is a synchronous message-passing network simulator: the
+// substrate on which package protocol realizes the paper's gossip processes
+// as genuine distributed protocols with O(log n)-bit messages.
+//
+// The model matches the paper's: computation proceeds in synchronous
+// rounds; a message sent in round t is delivered at the start of round t+1;
+// each message carries at most one node identifier (⌈log₂ n⌉ bits) plus a
+// constant-size header. The simulator meters messages and bits, and can
+// drop messages independently at a configurable rate for the robustness
+// experiments.
+//
+// Nodes execute concurrently, one goroutine per node, with channel-based
+// round barriers — node handlers only ever touch their own state and their
+// round's inbox, so the execution is race-free, and determinism is
+// preserved by per-node split generators and by sorting message routing by
+// sender.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gossipdisc/internal/rng"
+)
+
+// Kind tags the protocol meaning of a message.
+type Kind uint8
+
+// Message kinds used by the discovery protocols.
+const (
+	// KindIntroduce carries a contact's ID: "meet Payload".
+	KindIntroduce Kind = iota
+	// KindPullRequest asks the receiver for a random contact.
+	KindPullRequest
+	// KindPullReply answers with a random contact's ID.
+	KindPullReply
+	// KindHello announces the sender's own ID to a new contact.
+	KindHello
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIntroduce:
+		return "INTRODUCE"
+	case KindPullRequest:
+		return "PULL-REQ"
+	case KindPullReply:
+		return "PULL-REPLY"
+	case KindHello:
+		return "HELLO"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is a single O(log n)-bit datagram: a header plus at most one node
+// identifier in Payload (negative payload = no identifier).
+type Message struct {
+	From, To int
+	Kind     Kind
+	Payload  int
+}
+
+// Handler is the per-node protocol logic. HandleRound is called exactly
+// once per round with the messages delivered this round (sent during the
+// previous round), and returns the node's outgoing messages. Handlers own
+// their node's state exclusively; they must not share mutable state.
+type Handler interface {
+	HandleRound(round int, inbox []Message, r *rng.Rand) []Message
+}
+
+// Config controls a Network.
+type Config struct {
+	// DropProb drops each message independently with this probability
+	// before delivery.
+	DropProb float64
+	// Seed derives the network's internal generators (per-node handler
+	// generators and the drop coin).
+	Seed uint64
+}
+
+// Stats meters network traffic.
+type Stats struct {
+	Rounds    int
+	Sent      int64 // messages handed to the network
+	Dropped   int64 // messages lost to DropProb
+	Delivered int64 // messages delivered to inboxes
+	// IDBits is the total identifier payload volume in bits: one
+	// ⌈log₂ n⌉-bit ID per message with a non-negative payload.
+	IDBits int64
+}
+
+// Network is a synchronous message-passing network over n nodes.
+type Network struct {
+	n        int
+	cfg      Config
+	nodeRNGs []*rng.Rand
+	dropRNG  *rng.Rand
+	inboxes  [][]Message
+	stats    Stats
+	idBits   int
+}
+
+// New returns a network of n nodes.
+func New(n int, cfg Config) *Network {
+	root := rng.New(cfg.Seed)
+	nodeRNGs := make([]*rng.Rand, n)
+	for i := range nodeRNGs {
+		nodeRNGs[i] = root.Split()
+	}
+	bits := 1
+	for v := n - 1; v > 1; v >>= 1 {
+		bits++
+	}
+	return &Network{
+		n:        n,
+		cfg:      cfg,
+		nodeRNGs: nodeRNGs,
+		dropRNG:  root.Split(),
+		inboxes:  make([][]Message, n),
+		idBits:   bits,
+	}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// Stats returns a copy of the traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// IDBits returns the width of one identifier on this network: ⌈log₂ n⌉.
+func (nw *Network) IDBits() int { return nw.idBits }
+
+// Round executes one synchronous round: it delivers the pending inboxes to
+// all handlers concurrently (one goroutine per node), collects their
+// outgoing messages, applies drops and metering, and enqueues survivors for
+// delivery next round.
+func (nw *Network) Round(handlers []Handler) {
+	if len(handlers) != nw.n {
+		panic(fmt.Sprintf("netsim: %d handlers for %d nodes", len(handlers), nw.n))
+	}
+	nw.stats.Rounds++
+	round := nw.stats.Rounds
+
+	outs := make([][]Message, nw.n)
+	var wg sync.WaitGroup
+	wg.Add(nw.n)
+	for u := 0; u < nw.n; u++ {
+		go func(u int) {
+			defer wg.Done()
+			outs[u] = handlers[u].HandleRound(round, nw.inboxes[u], nw.nodeRNGs[u])
+		}(u)
+	}
+	wg.Wait()
+
+	next := make([][]Message, nw.n)
+	// Route in sender order so drop-coin consumption is deterministic.
+	for u := 0; u < nw.n; u++ {
+		for _, m := range outs[u] {
+			if m.From != u {
+				panic(fmt.Sprintf("netsim: node %d forged sender %d", u, m.From))
+			}
+			if m.To < 0 || m.To >= nw.n {
+				panic(fmt.Sprintf("netsim: message to invalid node %d", m.To))
+			}
+			nw.stats.Sent++
+			if m.Payload >= 0 {
+				nw.stats.IDBits += int64(nw.idBits)
+			}
+			if nw.cfg.DropProb > 0 && nw.dropRNG.Bernoulli(nw.cfg.DropProb) {
+				nw.stats.Dropped++
+				continue
+			}
+			nw.stats.Delivered++
+			next[m.To] = append(next[m.To], m)
+		}
+	}
+	// Deterministic inbox order regardless of routing details.
+	for u := range next {
+		sort.SliceStable(next[u], func(i, j int) bool {
+			if next[u][i].From != next[u][j].From {
+				return next[u][i].From < next[u][j].From
+			}
+			return next[u][i].Kind < next[u][j].Kind
+		})
+	}
+	nw.inboxes = next
+}
+
+// Run executes rounds until stop returns true (checked after every round)
+// or maxRounds is reached. It returns the number of rounds executed and
+// whether stop fired.
+func (nw *Network) Run(handlers []Handler, maxRounds int, stop func(round int) bool) (int, bool) {
+	for round := 1; round <= maxRounds; round++ {
+		nw.Round(handlers)
+		if stop != nil && stop(round) {
+			return round, true
+		}
+	}
+	return maxRounds, false
+}

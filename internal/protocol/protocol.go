@@ -1,0 +1,223 @@
+// Package protocol realizes the paper's discovery processes as genuine
+// distributed message-passing protocols on the netsim substrate, proving
+// the claim that both processes run with O(log n)-bit messages and
+// constant amortized work per node per round.
+//
+// Each node holds only its own contact list (the IDs it has discovered);
+// there is no global graph object. The union of the contact lists *is* the
+// evolving graph, and the tests in this package check that the
+// protocol-level executions converge with round counts distributionally
+// consistent with the centralized simulator.
+//
+//   - Push: node u picks contacts v, w uniformly at random (with
+//     replacement) from its list and sends INTRODUCE(w) to v and
+//     INTRODUCE(v) to w. Recipients add the payload to their lists.
+//     One process round = one message round.
+//   - Pull: node u sends PULL-REQ to a uniform contact v; v replies
+//     PULL-REPLY(w) with w uniform over v's list; u adds w and sends
+//     HELLO to w, which adds u. One process round spans three message
+//     rounds, pipelined: a node issues a fresh PULL-REQ every round.
+package protocol
+
+import (
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/netsim"
+	"gossipdisc/internal/rng"
+)
+
+// Contacts is a node's local contact list: a slice for O(1) uniform
+// sampling plus a membership set. The node's own ID is never a contact.
+type Contacts struct {
+	self  int
+	list  []int
+	known map[int]bool
+}
+
+// NewContacts returns a contact list for node self, seeded with neighbors.
+func NewContacts(self int, neighbors []int) *Contacts {
+	c := &Contacts{self: self, known: make(map[int]bool, len(neighbors))}
+	for _, v := range neighbors {
+		c.Add(v)
+	}
+	return c
+}
+
+// Add inserts id (ignoring self and duplicates) and reports whether it was
+// new.
+func (c *Contacts) Add(id int) bool {
+	if id == c.self || c.known[id] {
+		return false
+	}
+	c.known[id] = true
+	c.list = append(c.list, id)
+	return true
+}
+
+// Len returns the number of known contacts.
+func (c *Contacts) Len() int { return len(c.list) }
+
+// Random returns a uniform contact, or -1 if the list is empty.
+func (c *Contacts) Random(r *rng.Rand) int {
+	if len(c.list) == 0 {
+		return -1
+	}
+	return c.list[r.Intn(len(c.list))]
+}
+
+// Has reports whether id is a known contact.
+func (c *Contacts) Has(id int) bool { return c.known[id] }
+
+// Slice returns a copy of the contact list.
+func (c *Contacts) Slice() []int { return append([]int(nil), c.list...) }
+
+// PushNode is the per-node handler of the push (triangulation) protocol.
+type PushNode struct {
+	Contacts *Contacts
+}
+
+// HandleRound implements netsim.Handler.
+func (p *PushNode) HandleRound(round int, inbox []netsim.Message, r *rng.Rand) []netsim.Message {
+	for _, m := range inbox {
+		if m.Kind == netsim.KindIntroduce && m.Payload >= 0 {
+			p.Contacts.Add(m.Payload)
+		}
+	}
+	n := p.Contacts.Len()
+	if n == 0 {
+		return nil
+	}
+	// Two independent uniform picks, with replacement, per the paper.
+	v := p.Contacts.list[r.Intn(n)]
+	w := p.Contacts.list[r.Intn(n)]
+	if v == w {
+		return nil
+	}
+	return []netsim.Message{
+		{From: p.Contacts.self, To: v, Kind: netsim.KindIntroduce, Payload: w},
+		{From: p.Contacts.self, To: w, Kind: netsim.KindIntroduce, Payload: v},
+	}
+}
+
+// PullNode is the per-node handler of the pull (two-hop walk) protocol.
+// Requests, replies and hellos are pipelined: the node issues a new
+// PULL-REQ every round while serving whatever arrived.
+type PullNode struct {
+	Contacts *Contacts
+}
+
+// HandleRound implements netsim.Handler.
+func (p *PullNode) HandleRound(round int, inbox []netsim.Message, r *rng.Rand) []netsim.Message {
+	self := p.Contacts.self
+	var out []netsim.Message
+	for _, m := range inbox {
+		switch m.Kind {
+		case netsim.KindPullRequest:
+			// Serve: reply with a uniform contact (possibly the requester
+			// itself, matching the process where w == u yields nothing).
+			if w := p.Contacts.Random(r); w >= 0 {
+				out = append(out, netsim.Message{
+					From: self, To: m.From, Kind: netsim.KindPullReply, Payload: w,
+				})
+			}
+		case netsim.KindPullReply:
+			if m.Payload >= 0 && m.Payload != self && p.Contacts.Add(m.Payload) {
+				out = append(out, netsim.Message{
+					From: self, To: m.Payload, Kind: netsim.KindHello, Payload: self,
+				})
+			}
+		case netsim.KindHello:
+			p.Contacts.Add(m.From)
+		case netsim.KindIntroduce:
+			p.Contacts.Add(m.Payload)
+		}
+	}
+	// Initiate this round's two-hop walk.
+	if v := p.Contacts.Random(r); v >= 0 {
+		out = append(out, netsim.Message{
+			From: self, To: v, Kind: netsim.KindPullRequest, Payload: -1,
+		})
+	}
+	return out
+}
+
+// Cluster bundles a network with one handler per node and exposes
+// discovery-level queries.
+type Cluster struct {
+	Net      *netsim.Network
+	Handlers []netsim.Handler
+	contacts []*Contacts
+}
+
+// Protocol selects which discovery protocol a Cluster runs.
+type Protocol int
+
+// Available protocols.
+const (
+	ProtoPush Protocol = iota
+	ProtoPull
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == ProtoPush {
+		return "push"
+	}
+	return "pull"
+}
+
+// NewCluster builds a cluster whose initial contact lists mirror g.
+func NewCluster(g *graph.Undirected, proto Protocol, cfg netsim.Config) *Cluster {
+	n := g.N()
+	cl := &Cluster{
+		Net:      netsim.New(n, cfg),
+		Handlers: make([]netsim.Handler, n),
+		contacts: make([]*Contacts, n),
+	}
+	for u := 0; u < n; u++ {
+		c := NewContacts(u, g.Neighbors(u, nil))
+		cl.contacts[u] = c
+		switch proto {
+		case ProtoPush:
+			cl.Handlers[u] = &PushNode{Contacts: c}
+		case ProtoPull:
+			cl.Handlers[u] = &PullNode{Contacts: c}
+		default:
+			panic("protocol: unknown protocol")
+		}
+	}
+	return cl
+}
+
+// Contacts returns node u's live contact list.
+func (cl *Cluster) Contacts(u int) *Contacts { return cl.contacts[u] }
+
+// AllDiscovered reports whether every node knows every other node.
+func (cl *Cluster) AllDiscovered() bool {
+	n := cl.Net.N()
+	for _, c := range cl.contacts {
+		if c.Len() < n-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// KnowledgeGraph materializes the union of contact lists as an undirected
+// graph (u knowing v yields the edge {u, v}).
+func (cl *Cluster) KnowledgeGraph() *graph.Undirected {
+	g := graph.NewUndirected(cl.Net.N())
+	for u, c := range cl.contacts {
+		for _, v := range c.list {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Run executes rounds until all nodes discovered all others or maxRounds
+// elapsed, returning the rounds used and whether discovery completed.
+func (cl *Cluster) Run(maxRounds int) (int, bool) {
+	return cl.Net.Run(cl.Handlers, maxRounds, func(round int) bool {
+		return cl.AllDiscovered()
+	})
+}

@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/netsim"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+func TestContactsBasics(t *testing.T) {
+	c := NewContacts(2, []int{0, 1})
+	if c.Len() != 2 || !c.Has(0) || !c.Has(1) || c.Has(2) {
+		t.Fatalf("contacts wrong: %v", c.Slice())
+	}
+	if c.Add(2) {
+		t.Fatal("added self")
+	}
+	if c.Add(0) {
+		t.Fatal("added duplicate")
+	}
+	if !c.Add(5) || c.Len() != 3 {
+		t.Fatal("failed to add new contact")
+	}
+	// Slice returns a copy.
+	s := c.Slice()
+	s[0] = 99
+	if c.list[0] == 99 {
+		t.Fatal("Slice aliases internal storage")
+	}
+}
+
+func TestContactsRandomEmpty(t *testing.T) {
+	c := NewContacts(0, nil)
+	if c.Random(rng.New(1)) != -1 {
+		t.Fatal("empty Random should be -1")
+	}
+}
+
+func TestPushProtocolDiscoversPath(t *testing.T) {
+	g := gen.Path(12)
+	cl := NewCluster(g, ProtoPush, netsim.Config{Seed: 1})
+	rounds, done := cl.Run(sim.DefaultMaxRounds(12))
+	if !done {
+		t.Fatalf("push protocol did not converge in %d rounds", rounds)
+	}
+	if !cl.KnowledgeGraph().IsComplete() {
+		t.Fatal("knowledge graph not complete")
+	}
+}
+
+func TestPullProtocolDiscoversPath(t *testing.T) {
+	g := gen.Path(12)
+	cl := NewCluster(g, ProtoPull, netsim.Config{Seed: 2})
+	rounds, done := cl.Run(sim.DefaultMaxRounds(12))
+	if !done {
+		t.Fatalf("pull protocol did not converge in %d rounds", rounds)
+	}
+	if !cl.KnowledgeGraph().IsComplete() {
+		t.Fatal("knowledge graph not complete")
+	}
+}
+
+func TestPushKnowledgeStaysSymmetric(t *testing.T) {
+	// Push introductions are symmetric (v learns w and w learns v), so in
+	// a lossless network knowledge stays mutual.
+	g := gen.Cycle(8)
+	cl := NewCluster(g, ProtoPush, netsim.Config{Seed: 3})
+	for i := 0; i < 50; i++ {
+		cl.Net.Round(cl.Handlers)
+		// Pending in-flight messages may break symmetry transiently; check
+		// only that completed knowledge is consistent after the run.
+	}
+	kg := cl.KnowledgeGraph()
+	kg.CheckInvariants()
+}
+
+func TestProtocolMessagesAreSingleID(t *testing.T) {
+	// Every message carries at most one ID: total ID bits <= messages × ⌈lg n⌉.
+	g := gen.Path(10)
+	cl := NewCluster(g, ProtoPush, netsim.Config{Seed: 4})
+	cl.Run(2000)
+	s := cl.Net.Stats()
+	if s.IDBits > s.Sent*int64(cl.Net.IDBits()) {
+		t.Fatalf("some message carried more than one ID: %+v", s)
+	}
+	if s.Sent == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestPushProtocolMatchesCentralizedSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution comparison is slow")
+	}
+	// The message-level push protocol is the synchronous push process with
+	// a one-round delivery delay, so its mean convergence time should be
+	// within a couple of rounds of the centralized simulator's mean.
+	const trials = 60
+	const n = 16
+	protoMean := 0.0
+	for i := 0; i < trials; i++ {
+		cl := NewCluster(gen.Cycle(n), ProtoPush, netsim.Config{Seed: uint64(1000 + i)})
+		rounds, done := cl.Run(sim.DefaultMaxRounds(n))
+		if !done {
+			t.Fatal("protocol trial did not converge")
+		}
+		protoMean += float64(rounds)
+	}
+	protoMean /= trials
+
+	results := sim.Trials(trials, 99, func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.Cycle(n)
+	}, core.Push{}, sim.Config{})
+	simMean := 0.0
+	for _, r := range results {
+		simMean += float64(r.Rounds)
+	}
+	simMean /= trials
+
+	// Allow generous sampling noise plus the pipeline delay.
+	lo, hi := simMean*0.6, simMean*1.6+3
+	if protoMean < lo || protoMean > hi {
+		t.Fatalf("protocol mean %.1f outside [%.1f, %.1f] around sim mean %.1f",
+			protoMean, lo, hi, simMean)
+	}
+}
+
+func TestPullProtocolWithDropsStillConverges(t *testing.T) {
+	g := gen.Path(10)
+	cl := NewCluster(g, ProtoPull, netsim.Config{Seed: 5, DropProb: 0.3})
+	rounds, done := cl.Run(sim.DefaultMaxRounds(10) * 2)
+	if !done {
+		t.Fatalf("lossy pull did not converge in %d rounds", rounds)
+	}
+	if cl.Net.Stats().Dropped == 0 {
+		t.Fatal("no drops recorded at DropProb=0.3")
+	}
+}
+
+func TestClusterContactsAccessor(t *testing.T) {
+	g := gen.Star(5)
+	cl := NewCluster(g, ProtoPush, netsim.Config{Seed: 6})
+	if cl.Contacts(0).Len() != 4 {
+		t.Fatalf("center contacts %d", cl.Contacts(0).Len())
+	}
+	if cl.Contacts(1).Len() != 1 {
+		t.Fatalf("leaf contacts %d", cl.Contacts(1).Len())
+	}
+}
+
+func TestAllDiscoveredOnCompleteStart(t *testing.T) {
+	cl := NewCluster(gen.Complete(4), ProtoPush, netsim.Config{Seed: 7})
+	if !cl.AllDiscovered() {
+		t.Fatal("complete start not discovered")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoPush.String() != "push" || ProtoPull.String() != "pull" {
+		t.Fatal("protocol strings wrong")
+	}
+}
+
+func TestKnowledgeGraphMirrorsInitialGraph(t *testing.T) {
+	g := gen.RandomTree(20, rng.New(8))
+	cl := NewCluster(g, ProtoPull, netsim.Config{Seed: 9})
+	if !cl.KnowledgeGraph().Equal(g) {
+		t.Fatal("initial knowledge graph differs from seed graph")
+	}
+}
+
+func TestDeterministicClusterRuns(t *testing.T) {
+	run := func() (int, int64) {
+		cl := NewCluster(gen.Path(10), ProtoPull, netsim.Config{Seed: 11})
+		rounds, _ := cl.Run(10000)
+		return rounds, cl.Net.Stats().Sent
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if r1 != r2 || s1 != s2 {
+		t.Fatalf("cluster runs non-deterministic: (%d,%d) vs (%d,%d)", r1, s1, r2, s2)
+	}
+}

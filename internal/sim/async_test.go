@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+func TestRunAsyncConverges(t *testing.T) {
+	g := gen.Path(16)
+	res := RunAsync(g, core.Push{}, rng.New(1), AsyncConfig{})
+	if !res.Converged || !g.IsComplete() {
+		t.Fatalf("async push did not converge: %+v", res)
+	}
+	if res.Ticks <= 0 || res.ParallelRounds <= 0 {
+		t.Fatalf("bad accounting: %+v", res)
+	}
+	if res.ParallelRounds != float64(res.Ticks)/16 {
+		t.Fatalf("parallel rounds mismatch: %+v", res)
+	}
+}
+
+func TestRunAsyncAlreadyComplete(t *testing.T) {
+	g := gen.Complete(5)
+	res := RunAsync(g, core.Pull{}, rng.New(2), AsyncConfig{})
+	if !res.Converged || res.Ticks != 0 {
+		t.Fatalf("complete async run: %+v", res)
+	}
+}
+
+func TestRunAsyncAbort(t *testing.T) {
+	g := gen.Path(16)
+	res := RunAsync(g, core.Faulty{Inner: core.Push{}, FailProb: 1}, rng.New(3),
+		AsyncConfig{MaxTicks: 100})
+	if res.Converged || res.Ticks != 100 || res.NewEdges != 0 {
+		t.Fatalf("aborted async run: %+v", res)
+	}
+}
+
+func TestRunAsyncCustomDone(t *testing.T) {
+	g := gen.Cycle(12)
+	res := RunAsync(g, core.Push{}, rng.New(4), AsyncConfig{
+		Done: func(g *graph.Undirected) bool { return g.MinDegree() >= 4 },
+	})
+	if !res.Converged || g.MinDegree() < 4 {
+		t.Fatalf("async custom done: %+v", res)
+	}
+}
+
+func TestAsyncComparableToSync(t *testing.T) {
+	// Parallel rounds under the async scheduler should land within a small
+	// constant factor of synchronous rounds on the same workload.
+	const n = 32
+	const trials = 12
+	root := rng.New(5)
+	asyncMean, syncMean := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		r := root.Split()
+		g := gen.Cycle(n)
+		ar := RunAsync(g, core.Push{}, r, AsyncConfig{})
+		if !ar.Converged {
+			t.Fatal("async trial failed")
+		}
+		asyncMean += ar.ParallelRounds
+
+		r2 := root.Split()
+		h := gen.Cycle(n)
+		sr := Run(h, core.Push{}, r2, Config{})
+		if !sr.Converged {
+			t.Fatal("sync trial failed")
+		}
+		syncMean += float64(sr.Rounds)
+	}
+	asyncMean /= trials
+	syncMean /= trials
+	ratio := asyncMean / syncMean
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("async/sync ratio %.2f outside [0.3, 3] (async %.1f sync %.1f)",
+			ratio, asyncMean, syncMean)
+	}
+}

@@ -1,0 +1,258 @@
+// Package sim executes gossip discovery processes in synchronous rounds and
+// runs multi-trial experiments in parallel.
+//
+// The round engine owns the commit semantics. Under CommitSynchronous — the
+// paper's model — every node's random choices in round t read G_t, and all
+// proposed edges are inserted together to form G_{t+1}. CommitEager applies
+// each proposal immediately, so later nodes in the same round observe edges
+// added by earlier ones; it is provided as an ablation (experiment E1/E3
+// report both; the asymptotics are indistinguishable).
+package sim
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// CommitMode selects when proposed edges are inserted into the graph.
+type CommitMode int
+
+const (
+	// CommitSynchronous buffers all proposals of a round and inserts them
+	// after every node has acted — the paper's G_t → G_{t+1} semantics.
+	CommitSynchronous CommitMode = iota
+	// CommitEager inserts each proposal immediately (ablation).
+	CommitEager
+)
+
+// String implements fmt.Stringer.
+func (m CommitMode) String() string {
+	switch m {
+	case CommitSynchronous:
+		return "sync"
+	case CommitEager:
+		return "eager"
+	default:
+		return fmt.Sprintf("CommitMode(%d)", int(m))
+	}
+}
+
+// Config controls a single run.
+type Config struct {
+	// MaxRounds aborts the run after this many rounds (0 means a generous
+	// default of 500·n·(log₂n+1)² rounds, far beyond the w.h.p. bounds).
+	MaxRounds int
+	// Mode selects the commit semantics (default CommitSynchronous).
+	Mode CommitMode
+	// Done, if non-nil, overrides the convergence predicate (default:
+	// graph is complete). It is evaluated after every round.
+	Done func(g *graph.Undirected) bool
+	// Observer, if non-nil, is called after every committed round with the
+	// 1-based round number. Observe round 0 by inspecting the graph before
+	// Run.
+	Observer func(round int, g *graph.Undirected)
+}
+
+// Result reports a single run.
+type Result struct {
+	// Rounds is the number of rounds executed until convergence (or until
+	// MaxRounds if Converged is false).
+	Rounds int
+	// Converged reports whether the Done predicate was reached.
+	Converged bool
+	// Proposals counts every edge proposal made by the process.
+	Proposals int
+	// NewEdges counts proposals that inserted a previously missing edge.
+	NewEdges int
+	// DuplicateProposals counts proposals whose edge already existed
+	// (including duplicates within the same synchronous round).
+	DuplicateProposals int
+}
+
+// DefaultMaxRounds returns the default round budget for an n-node graph:
+// comfortably above the paper's O(n log² n) w.h.p. bound.
+func DefaultMaxRounds(n int) int {
+	if n < 2 {
+		return 1
+	}
+	lg := 0
+	for v := n; v > 0; v >>= 1 {
+		lg++
+	}
+	return 500 * n * (lg + 1) * (lg + 1)
+}
+
+// Run executes p on g (mutating g) until convergence or the round budget is
+// exhausted, and returns the run statistics.
+func Run(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) Result {
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(g.N())
+	}
+	done := cfg.Done
+	if done == nil {
+		done = (*graph.Undirected).IsComplete
+	}
+
+	var res Result
+	if done(g) {
+		res.Converged = true
+		return res
+	}
+
+	n := g.N()
+	var buf []graph.Edge // reused across rounds in synchronous mode
+	for round := 1; round <= maxRounds; round++ {
+		switch cfg.Mode {
+		case CommitSynchronous:
+			buf = buf[:0]
+			for u := 0; u < n; u++ {
+				p.Act(g, u, r, func(a, b int) {
+					res.Proposals++
+					buf = append(buf, graph.Edge{U: a, V: b})
+				})
+			}
+			for _, e := range buf {
+				if g.AddEdge(e.U, e.V) {
+					res.NewEdges++
+				} else {
+					res.DuplicateProposals++
+				}
+			}
+		case CommitEager:
+			for u := 0; u < n; u++ {
+				p.Act(g, u, r, func(a, b int) {
+					res.Proposals++
+					if g.AddEdge(a, b) {
+						res.NewEdges++
+					} else {
+						res.DuplicateProposals++
+					}
+				})
+			}
+		default:
+			panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
+		}
+		res.Rounds = round
+		if cfg.Observer != nil {
+			cfg.Observer(round, g)
+		}
+		if done(g) {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}
+
+// DirectedConfig controls a directed run.
+type DirectedConfig struct {
+	// MaxRounds aborts the run (0 means 500·n²·(log₂n+1), above the
+	// O(n² log n) w.h.p. bound of Theorem 14).
+	MaxRounds int
+	// Mode selects commit semantics (default CommitSynchronous).
+	Mode CommitMode
+	// Observer, if non-nil, is called after every committed round.
+	Observer func(round int, g *graph.Directed)
+}
+
+// DirectedResult reports a directed run.
+type DirectedResult struct {
+	Rounds             int
+	Converged          bool
+	Proposals          int
+	NewArcs            int
+	DuplicateProposals int
+	// TargetArcs is the number of arcs in the transitive closure of the
+	// initial graph (the termination target).
+	TargetArcs int
+}
+
+// DefaultDirectedMaxRounds returns the default directed round budget.
+func DefaultDirectedMaxRounds(n int) int {
+	if n < 2 {
+		return 1
+	}
+	lg := 0
+	for v := n; v > 0; v >>= 1 {
+		lg++
+	}
+	return 500 * n * n * (lg + 1)
+}
+
+// RunDirected executes p on g until G contains the transitive closure of the
+// initial graph (the paper's termination condition in Section 5).
+//
+// The closure of the *initial* graph is computed once; because the two-hop
+// walk only adds arcs (u, w) already implied by a u→v→w path, the closure is
+// invariant throughout the run, so tracking the count of still-missing
+// closure arcs gives an O(1)-per-arc termination test.
+func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg DirectedConfig) DirectedResult {
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultDirectedMaxRounds(g.N())
+	}
+
+	target := g.TransitiveClosure()
+	var res DirectedResult
+	missing := 0
+	for u, row := range target {
+		res.TargetArcs += row.Count()
+		c := row.Clone()
+		c.DifferenceWith(g.OutRow(u))
+		missing += c.Count()
+	}
+	if missing == 0 {
+		res.Converged = true
+		return res
+	}
+
+	n := g.N()
+	var buf []graph.Arc
+	commit := func(a, b int) {
+		if g.AddArc(a, b) {
+			res.NewArcs++
+			if target[a].Test(b) {
+				missing--
+			}
+		} else {
+			res.DuplicateProposals++
+		}
+	}
+	for round := 1; round <= maxRounds; round++ {
+		switch cfg.Mode {
+		case CommitSynchronous:
+			buf = buf[:0]
+			for u := 0; u < n; u++ {
+				p.Act(g, u, r, func(a, b int) {
+					res.Proposals++
+					buf = append(buf, graph.Arc{U: a, V: b})
+				})
+			}
+			for _, a := range buf {
+				commit(a.U, a.V)
+			}
+		case CommitEager:
+			for u := 0; u < n; u++ {
+				p.Act(g, u, r, func(a, b int) {
+					res.Proposals++
+					commit(a, b)
+				})
+			}
+		default:
+			panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
+		}
+		res.Rounds = round
+		if cfg.Observer != nil {
+			cfg.Observer(round, g)
+		}
+		if missing == 0 {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

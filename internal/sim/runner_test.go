@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+func TestRunPushPathToComplete(t *testing.T) {
+	g := gen.Path(8)
+	res := Run(g, core.Push{}, rng.New(1), Config{})
+	if !res.Converged {
+		t.Fatalf("push did not converge: %+v", res)
+	}
+	if !g.IsComplete() {
+		t.Fatal("graph not complete after convergence")
+	}
+	if res.NewEdges != 8*7/2-7 {
+		t.Fatalf("NewEdges %d want %d", res.NewEdges, 8*7/2-7)
+	}
+	if res.Proposals < res.NewEdges {
+		t.Fatal("proposals fewer than new edges")
+	}
+}
+
+func TestRunPullPathToComplete(t *testing.T) {
+	g := gen.Path(8)
+	res := Run(g, core.Pull{}, rng.New(2), Config{})
+	if !res.Converged || !g.IsComplete() {
+		t.Fatalf("pull did not converge: %+v", res)
+	}
+}
+
+func TestRunAlreadyComplete(t *testing.T) {
+	g := gen.Complete(5)
+	res := Run(g, core.Push{}, rng.New(3), Config{})
+	if !res.Converged || res.Rounds != 0 || res.Proposals != 0 {
+		t.Fatalf("complete graph run: %+v", res)
+	}
+}
+
+func TestRunMaxRoundsAbort(t *testing.T) {
+	g := gen.Path(16)
+	res := Run(g, core.Faulty{Inner: core.Push{}, FailProb: 1}, rng.New(4), Config{MaxRounds: 10})
+	if res.Converged || res.Rounds != 10 || res.NewEdges != 0 {
+		t.Fatalf("aborted run: %+v", res)
+	}
+}
+
+func TestRunCustomDone(t *testing.T) {
+	g := gen.Path(12)
+	res := Run(g, core.Push{}, rng.New(5), Config{
+		Done: func(g *graph.Undirected) bool { return g.MinDegree() >= 3 },
+	})
+	if !res.Converged {
+		t.Fatalf("custom done not reached: %+v", res)
+	}
+	if g.MinDegree() < 3 {
+		t.Fatal("done predicate violated at exit")
+	}
+	if g.IsComplete() {
+		t.Fatal("run went past custom done")
+	}
+}
+
+func TestObserverSeesEveryRound(t *testing.T) {
+	g := gen.Path(6)
+	var rounds []int
+	lastM := g.M()
+	monotone := true
+	res := Run(g, core.Push{}, rng.New(6), Config{
+		Observer: func(round int, g *graph.Undirected) {
+			rounds = append(rounds, round)
+			if g.M() < lastM {
+				monotone = false
+			}
+			lastM = g.M()
+		},
+	})
+	if len(rounds) != res.Rounds {
+		t.Fatalf("observer called %d times for %d rounds", len(rounds), res.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("observer rounds %v", rounds)
+		}
+	}
+	if !monotone {
+		t.Fatal("edge count decreased during run")
+	}
+}
+
+// syncProbe proposes (u, u+1 mod n) and records the graph's edge count at
+// Act time; in synchronous mode no Act within one round may observe another
+// proposal of the same round.
+type syncProbe struct {
+	observedM []int
+}
+
+func (s *syncProbe) Name() string { return "sync-probe" }
+func (s *syncProbe) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	s.observedM = append(s.observedM, g.M())
+	propose(u, (u+1)%g.N())
+}
+
+func TestSynchronousCommitSemantics(t *testing.T) {
+	// Start from a star; the probe proposes the cycle edges. In sync mode
+	// every node must observe the same round-start edge count.
+	g := gen.Star(6)
+	p := &syncProbe{}
+	Run(g, p, rng.New(7), Config{MaxRounds: 1})
+	if len(p.observedM) != 6 {
+		t.Fatalf("probe acted %d times", len(p.observedM))
+	}
+	for _, m := range p.observedM {
+		if m != 5 {
+			t.Fatalf("sync mode: node observed mid-round edge count %d (want 5): %v", m, p.observedM)
+		}
+	}
+	// All proposed cycle edges must be present afterwards.
+	for u := 0; u < 6; u++ {
+		if !g.HasEdge(u, (u+1)%6) {
+			t.Fatalf("edge %d-%d missing after commit", u, (u+1)%6)
+		}
+	}
+}
+
+func TestEagerCommitSemantics(t *testing.T) {
+	g := gen.Star(6)
+	p := &syncProbe{}
+	Run(g, p, rng.New(8), Config{MaxRounds: 1, Mode: CommitEager})
+	// Later nodes must see earlier insertions: observed counts increase.
+	increased := false
+	for i := 1; i < len(p.observedM); i++ {
+		if p.observedM[i] > p.observedM[i-1] {
+			increased = true
+		}
+	}
+	if !increased {
+		t.Fatalf("eager mode: no mid-round visibility: %v", p.observedM)
+	}
+}
+
+func TestDuplicateAccounting(t *testing.T) {
+	// probe proposes the same edge from every node: 1 new + n-1 duplicates
+	// in round one.
+	g := gen.Star(4)
+	p := fixedProbe{}
+	res := Run(g, p, rng.New(9), Config{MaxRounds: 1})
+	if res.NewEdges != 1 || res.DuplicateProposals != 3 || res.Proposals != 4 {
+		t.Fatalf("duplicate accounting: %+v", res)
+	}
+}
+
+type fixedProbe struct{}
+
+func (fixedProbe) Name() string { return "fixed-probe" }
+func (fixedProbe) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	propose(1, 2)
+}
+
+func TestCommitModeString(t *testing.T) {
+	if CommitSynchronous.String() != "sync" || CommitEager.String() != "eager" {
+		t.Fatal("CommitMode strings wrong")
+	}
+	if CommitMode(9).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+}
+
+func TestDefaultMaxRounds(t *testing.T) {
+	if DefaultMaxRounds(1) != 1 || DefaultMaxRounds(0) != 1 {
+		t.Fatal("tiny defaults wrong")
+	}
+	if DefaultMaxRounds(100) <= 100 {
+		t.Fatal("default budget too small")
+	}
+	if DefaultDirectedMaxRounds(100) <= 100*100 {
+		t.Fatal("directed default budget too small")
+	}
+}
+
+func TestRunDirectedCycleToCompleteDigraph(t *testing.T) {
+	n := 8
+	g := gen.DirectedCycle(n)
+	res := RunDirected(g, core.DirectedTwoHop{}, rng.New(10), DirectedConfig{})
+	if !res.Converged {
+		t.Fatalf("directed run did not converge: %+v", res)
+	}
+	if res.TargetArcs != n*(n-1) {
+		t.Fatalf("target arcs %d want %d", res.TargetArcs, n*(n-1))
+	}
+	if !g.IsClosed() {
+		t.Fatal("graph not closed after convergence")
+	}
+	if g.M() != n*(n-1) {
+		t.Fatalf("cycle closure should be complete digraph, m=%d", g.M())
+	}
+}
+
+func TestRunDirectedAlreadyClosed(t *testing.T) {
+	g := gen.CompleteDigraph(5)
+	res := RunDirected(g, core.DirectedTwoHop{}, rng.New(11), DirectedConfig{})
+	if !res.Converged || res.Rounds != 0 {
+		t.Fatalf("closed run: %+v", res)
+	}
+}
+
+func TestRunDirectedPathClosure(t *testing.T) {
+	g := gen.DirectedPath(5)
+	res := RunDirected(g, core.DirectedTwoHop{}, rng.New(12), DirectedConfig{})
+	if !res.Converged {
+		t.Fatalf("path closure: %+v", res)
+	}
+	// Path closure: all (i, j) with i < j.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := i < j
+			if g.HasArc(i, j) != want {
+				t.Fatalf("arc (%d,%d) presence %v want %v", i, j, g.HasArc(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRunDirectedEagerMode(t *testing.T) {
+	g := gen.DirectedCycle(6)
+	res := RunDirected(g, core.DirectedTwoHop{}, rng.New(13), DirectedConfig{Mode: CommitEager})
+	if !res.Converged || !g.IsClosed() {
+		t.Fatalf("eager directed run: %+v", res)
+	}
+}
+
+func TestRunDirectedObserverAndAbort(t *testing.T) {
+	g := gen.Thm14WeakLowerBound(16)
+	calls := 0
+	res := RunDirected(g, core.FaultyDirected{Inner: core.DirectedTwoHop{}, FailProb: 1},
+		rng.New(14), DirectedConfig{MaxRounds: 7, Observer: func(round int, g *graph.Directed) { calls++ }})
+	if res.Converged || res.Rounds != 7 || calls != 7 {
+		t.Fatalf("aborted directed run: %+v calls=%d", res, calls)
+	}
+}
+
+// Property: the directed two-hop walk preserves the transitive closure —
+// closure(G_t) equals closure(G_0) at every round.
+func TestQuickClosureInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(8)
+		g := gen.RandomStronglyConnected(n, r.Intn(n), r)
+		before := g.ClosureArcCount()
+		ok := true
+		RunDirected(g, core.DirectedTwoHop{}, r, DirectedConfig{
+			MaxRounds: 20,
+			Observer: func(round int, g *graph.Directed) {
+				if g.ClosureArcCount() != before {
+					ok = false
+				}
+			},
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in synchronous mode every edge proposed by push/pull joins two
+// nodes at distance <= 2 at the start of the round.
+func TestQuickProposalsAreTwoHop(t *testing.T) {
+	f := func(seed uint64, usePull bool) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(10)
+		g := gen.RandomTree(n, r)
+		var p core.Process = core.Push{}
+		if usePull {
+			p = core.Pull{}
+		}
+		ok := true
+		// Drive rounds manually to validate against the round-start graph.
+		for round := 0; round < 10 && ok && !g.IsComplete(); round++ {
+			snapshot := g.Clone()
+			var proposals []graph.Edge
+			for u := 0; u < n; u++ {
+				p.Act(g, u, r, func(a, b int) {
+					proposals = append(proposals, graph.Edge{U: a, V: b})
+				})
+			}
+			for _, e := range proposals {
+				d := snapshot.BFSDistances(e.U)[e.V]
+				if d < 0 || d > 2 {
+					ok = false
+				}
+				g.AddEdge(e.U, e.V)
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPreservesInvariants(t *testing.T) {
+	g := gen.Cycle(10)
+	Run(g, core.PushPull{}, rng.New(15), Config{})
+	g.CheckInvariants()
+	if !g.IsComplete() {
+		t.Fatal("push-pull did not complete the cycle")
+	}
+}

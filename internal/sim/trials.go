@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// This file implements the parallel multi-trial runner. Trials are
+// embarrassingly parallel; the only care needed is determinism: every trial
+// derives its generator by splitting a root generator *sequentially* before
+// any work is dispatched, so results are identical regardless of
+// GOMAXPROCS or scheduling.
+
+// Trials executes numTrials independent runs of p and returns the per-trial
+// results in trial order.
+//
+// build receives the trial index and a trial-private generator and must
+// return a fresh initial graph. The same generator (advanced past build's
+// consumption) then drives the process, so a trial is one deterministic
+// function of (seed, trial index).
+func Trials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Undirected,
+	p core.Process, cfg Config) []Result {
+
+	root := rng.New(seed)
+	gens := make([]*rng.Rand, numTrials)
+	for i := range gens {
+		gens[i] = root.Split()
+	}
+
+	results := make([]Result, numTrials)
+	parallelFor(numTrials, func(i int) {
+		r := gens[i]
+		g := build(i, r)
+		results[i] = Run(g, p, r, cfg)
+	})
+	return results
+}
+
+// DirectedTrials is the directed analogue of Trials.
+func DirectedTrials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Directed,
+	p core.DirectedProcess, cfg DirectedConfig) []DirectedResult {
+
+	root := rng.New(seed)
+	gens := make([]*rng.Rand, numTrials)
+	for i := range gens {
+		gens[i] = root.Split()
+	}
+
+	results := make([]DirectedResult, numTrials)
+	parallelFor(numTrials, func(i int) {
+		r := gens[i]
+		g := build(i, r)
+		results[i] = RunDirected(g, p, r, cfg)
+	})
+	return results
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers fed
+// from a shared channel.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Rounds extracts the per-trial round counts.
+func Rounds(results []Result) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = float64(r.Rounds)
+	}
+	return out
+}
+
+// DirectedRounds extracts the per-trial round counts of directed runs.
+func DirectedRounds(results []DirectedResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = float64(r.Rounds)
+	}
+	return out
+}
+
+// AllConverged reports whether every trial converged.
+func AllConverged(results []Result) bool {
+	for _, r := range results {
+		if !r.Converged {
+			return false
+		}
+	}
+	return true
+}
+
+// AllDirectedConverged reports whether every directed trial converged.
+func AllDirectedConverged(results []DirectedResult) bool {
+	for _, r := range results {
+		if !r.Converged {
+			return false
+		}
+	}
+	return true
+}

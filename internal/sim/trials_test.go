@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+func TestTrialsDeterministic(t *testing.T) {
+	build := func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.RandomTree(12, r)
+	}
+	a := Trials(8, 42, build, core.Push{}, Config{})
+	b := Trials(8, 42, build, core.Push{}, Config{})
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("trial counts %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if !AllConverged(a) {
+		t.Fatal("not all trials converged")
+	}
+}
+
+func TestTrialsDifferentSeedsDiffer(t *testing.T) {
+	build := func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.RandomTree(16, r)
+	}
+	a := Trials(6, 1, build, core.Push{}, Config{})
+	b := Trials(6, 2, build, core.Push{}, Config{})
+	same := 0
+	for i := range a {
+		if a[i].Rounds == b[i].Rounds {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("all trials identical across different seeds (suspicious)")
+	}
+}
+
+func TestTrialsAreIndependent(t *testing.T) {
+	// Each trial must get its own graph: rounds should vary across trials.
+	build := func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.Path(14)
+	}
+	res := Trials(10, 7, build, core.Pull{}, Config{})
+	distinct := map[int]bool{}
+	for _, r := range res {
+		distinct[r.Rounds] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("10 trials produced only %d distinct round counts", len(distinct))
+	}
+}
+
+func TestDirectedTrialsDeterministic(t *testing.T) {
+	build := func(trial int, r *rng.Rand) *graph.Directed {
+		return gen.RandomStronglyConnected(8, 4, r)
+	}
+	a := DirectedTrials(6, 9, build, core.DirectedTwoHop{}, DirectedConfig{})
+	b := DirectedTrials(6, 9, build, core.DirectedTwoHop{}, DirectedConfig{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("directed trial %d differs", i)
+		}
+	}
+	if !AllDirectedConverged(a) {
+		t.Fatal("not all directed trials converged")
+	}
+}
+
+func TestRoundsExtraction(t *testing.T) {
+	rs := Rounds([]Result{{Rounds: 3}, {Rounds: 7}})
+	if len(rs) != 2 || rs[0] != 3 || rs[1] != 7 {
+		t.Fatalf("Rounds %v", rs)
+	}
+	ds := DirectedRounds([]DirectedResult{{Rounds: 5}})
+	if len(ds) != 1 || ds[0] != 5 {
+		t.Fatalf("DirectedRounds %v", ds)
+	}
+}
+
+func TestAllConvergedFalse(t *testing.T) {
+	if AllConverged([]Result{{Converged: true}, {Converged: false}}) {
+		t.Fatal("AllConverged wrong")
+	}
+	if AllDirectedConverged([]DirectedResult{{Converged: false}}) {
+		t.Fatal("AllDirectedConverged wrong")
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		hit := make([]bool, n)
+		parallelFor(n, func(i int) { hit[i] = true })
+		for i, h := range hit {
+			if !h {
+				t.Fatalf("n=%d: index %d not visited", n, i)
+			}
+		}
+	}
+}
+
+func TestTrialsSingleTrial(t *testing.T) {
+	res := Trials(1, 5, func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.Cycle(6)
+	}, core.Push{}, Config{})
+	if len(res) != 1 || !res[0].Converged {
+		t.Fatalf("single trial: %+v", res)
+	}
+}
