@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,13 +26,14 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
-		seed   = flag.Uint64("seed", 0, "root seed (0 = library default)")
-		trials = flag.Int("trials", 0, "per-point trial override (0 = experiment default)")
-		scale  = flag.Float64("scale", 1, "sweep-size scale factor in (0, 1]")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		outDir = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
+		seed    = flag.Uint64("seed", 0, "root seed (0 = library default)")
+		trials  = flag.Int("trials", 0, "per-point trial override (0 = experiment default)")
+		scale   = flag.Float64("scale", 1, "sweep-size scale factor in (0, 1]")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers = flag.Int("workers", 0, "per-run round-engine workers (0 = classic sequential engine, -1 = GOMAXPROCS)")
+		outDir  = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -42,7 +44,10 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv}
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv, Workers: *workers}
 
 	var selected []experiments.Experiment
 	if *run == "all" {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/gen"
@@ -34,6 +35,7 @@ func main() {
 		trials   = flag.Int("trials", 1, "independent trials")
 		seed     = flag.Uint64("seed", 1, "root seed")
 		mode     = flag.String("mode", "sync", "scheduler: sync | eager | async")
+		workers  = flag.Int("workers", 0, "round-engine workers: 0 = classic sequential engine, >=1 = sharded deterministic engine, -1 = GOMAXPROCS")
 		traceAt  = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off)")
 		failProb = flag.Float64("fail", 0, "connection failure probability (0..1)")
 		list     = flag.Bool("list", false, "list workload families and exit")
@@ -62,11 +64,19 @@ func main() {
 		fatalf("unknown -mode %q (want sync, eager or async)", *mode)
 	}
 
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *workers >= 1 && *mode != "sync" {
+		fmt.Fprintf(os.Stderr, "gossipsim: note: -workers applies only to -mode sync; the %s scheduler is inherently sequential\n", *mode)
+		*workers = 0
+	}
+
 	if *process == "directed" {
 		if async {
 			fatalf("-mode async is only implemented for undirected processes")
 		}
-		runDirected(*dfamily, *n, *trials, *seed, commit)
+		runDirected(*dfamily, *n, *trials, *seed, commit, *workers)
 		return
 	}
 
@@ -113,7 +123,7 @@ func main() {
 				trace.I(res.Proposals-res.NewEdges))
 			continue
 		}
-		cfg := sim.Config{Mode: commit}
+		cfg := sim.Config{Mode: commit, Workers: *workers}
 		if *traceAt > 0 && t == 0 {
 			traj := &metrics.Trajectory{Every: *traceAt}
 			cfg.Observer = traj.Observe
@@ -144,7 +154,7 @@ func main() {
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 
-func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode) {
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers int) {
 	fam, err := gen.DirectedFamilyByName(family)
 	if err != nil {
 		fatalf("%v", err)
@@ -160,7 +170,7 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 	for t := 0; t < trials; t++ {
 		r := root.Split()
 		var g *graph.Directed = fam.Generate(n, r)
-		res := sim.RunDirected(g, core.DirectedTwoHop{}, r, sim.DirectedConfig{Mode: commit})
+		res := sim.RunDirected(g, core.DirectedTwoHop{}, r, sim.DirectedConfig{Mode: commit, Workers: workers})
 		if !res.Converged {
 			fatalf("trial %d did not converge", t)
 		}

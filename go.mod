@@ -1,0 +1,3 @@
+module gossipdisc
+
+go 1.24

@@ -33,6 +33,8 @@
 package gossipdisc
 
 import (
+	"runtime"
+
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/gen"
 	"gossipdisc/internal/graph"
@@ -143,6 +145,27 @@ func RunPush(g *Graph, seed uint64) Result { return Run(g, core.Push{}, seed) }
 
 // RunPull runs the pull (two-hop walk) process to completion.
 func RunPull(g *Graph, seed uint64) Result { return Run(g, core.Pull{}, seed) }
+
+// RunParallel executes p on g with the sharded parallel round engine on the
+// given number of workers (workers <= 0 selects GOMAXPROCS). Results are
+// bit-identical for every worker count >= 1 — the shard layout and rng
+// streams depend only on the graph size and the seed — but differ from the
+// classic sequential engine used by Run, which consumes a single stream.
+func RunParallel(g *Graph, p Process, seed uint64, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return sim.Run(g, p, rng.New(seed), sim.Config{Workers: workers})
+}
+
+// RunDirectedParallel is the directed counterpart of RunParallel, running
+// the directed two-hop walk to the transitive closure of the initial graph.
+func RunDirectedParallel(g *Digraph, seed uint64, workers int) DirectedResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return sim.RunDirected(g, core.DirectedTwoHop{}, rng.New(seed), sim.DirectedConfig{Workers: workers})
+}
 
 // RunDirected executes the directed two-hop walk on g until it contains the
 // transitive closure of the initial graph.

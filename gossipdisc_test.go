@@ -138,3 +138,34 @@ func TestCommitModesExported(t *testing.T) {
 		t.Fatal("commit mode aliasing broken")
 	}
 }
+
+func TestRunParallelFacade(t *testing.T) {
+	run := func(workers int) (gossipdisc.Result, *gossipdisc.Graph) {
+		g := gossipdisc.Cycle(100)
+		return gossipdisc.RunParallel(g, gossipdisc.Push{}, 42, workers), g
+	}
+	base, baseG := run(1)
+	if !base.Converged || !baseG.IsComplete() {
+		t.Fatalf("parallel push did not converge: %+v", base)
+	}
+	res, g := run(4)
+	if res != base || !g.Equal(baseG) {
+		t.Fatalf("RunParallel not worker-count invariant: %+v vs %+v", res, base)
+	}
+	if auto, _ := run(0); auto != base {
+		t.Fatalf("workers<=0 (GOMAXPROCS) diverged: %+v vs %+v", auto, base)
+	}
+}
+
+func TestRunDirectedParallelFacade(t *testing.T) {
+	run := func(workers int) gossipdisc.DirectedResult {
+		return gossipdisc.RunDirectedParallel(gossipdisc.DirectedCycle(40), 7, workers)
+	}
+	base := run(1)
+	if !base.Converged || base.TargetArcs != 40*39 {
+		t.Fatalf("parallel directed run failed: %+v", base)
+	}
+	if res := run(4); res != base {
+		t.Fatalf("RunDirectedParallel not worker-count invariant: %+v vs %+v", res, base)
+	}
+}

@@ -45,7 +45,7 @@ func runAblation(cfg Config, w io.Writer) error {
 		for ni, n := range ns {
 			seed := pointSeed(cfg.Seed, uint64(ni), hashName(procName))
 
-			syncRes := sim.Trials(trials, seed, cycleBuilder(n), proc, sim.Config{})
+			syncRes := sim.Trials(trials, seed, cycleBuilder(n), proc, cfg.engine())
 			syncSum, err := summarizeRounds(syncRes)
 			if err != nil {
 				return fmt.Errorf("E15 sync n=%d: %w", n, err)
@@ -103,7 +103,7 @@ func runConcentration(cfg Config, w io.Writer) error {
 			"n", "median", "p10", "p90", "max", "p90/median", "max/median")
 		for ni, n := range ns {
 			seed := pointSeed(cfg.Seed, uint64(ni), hashName(procName), 161616)
-			results := sim.Trials(trials, seed, cycleBuilder(n), proc, sim.Config{})
+			results := sim.Trials(trials, seed, cycleBuilder(n), proc, cfg.engine())
 			if !sim.AllConverged(results) {
 				return fmt.Errorf("E16 n=%d: non-converged trial", n)
 			}

@@ -62,7 +62,7 @@ func runDirectedUpper(cfg Config, w io.Writer) error {
 			seed := pointSeed(cfg.Seed, uint64(ni), hashName(fam.name))
 			results := sim.DirectedTrials(trials, seed, func(trial int, r *rng.Rand) *graph.Directed {
 				return fam.build(n, r)
-			}, core.DirectedTwoHop{}, sim.DirectedConfig{})
+			}, core.DirectedTwoHop{}, cfg.directedEngine())
 			sum, err := summarizeDirectedRounds(results)
 			if err != nil {
 				return fmt.Errorf("E5 %s n=%d: %w", fam.name, n, err)
@@ -113,7 +113,7 @@ func runWeakLower(cfg Config, w io.Writer) error {
 		seed := pointSeed(cfg.Seed, uint64(ni))
 		results := sim.DirectedTrials(trials, seed, func(trial int, r *rng.Rand) *graph.Directed {
 			return gen.Thm14WeakLowerBound(n)
-		}, core.DirectedTwoHop{}, sim.DirectedConfig{})
+		}, core.DirectedTwoHop{}, cfg.directedEngine())
 		sum, err := summarizeDirectedRounds(results)
 		if err != nil {
 			return fmt.Errorf("E6 n=%d: %w", n, err)
@@ -154,14 +154,14 @@ func runStrongLower(cfg Config, w io.Writer) error {
 		seed := pointSeed(cfg.Seed, uint64(ni))
 		hard := sim.DirectedTrials(trials, seed, func(trial int, r *rng.Rand) *graph.Directed {
 			return gen.Thm15StrongLowerBound(n)
-		}, core.DirectedTwoHop{}, sim.DirectedConfig{})
+		}, core.DirectedTwoHop{}, cfg.directedEngine())
 		hardSum, err := summarizeDirectedRounds(hard)
 		if err != nil {
 			return fmt.Errorf("E7 n=%d: %w", n, err)
 		}
 		easy := sim.DirectedTrials(trials, seed+1, func(trial int, r *rng.Rand) *graph.Directed {
 			return gen.RandomStronglyConnected(n, n/2, r)
-		}, core.DirectedTwoHop{}, sim.DirectedConfig{})
+		}, core.DirectedTwoHop{}, cfg.directedEngine())
 		easySum, err := summarizeDirectedRounds(easy)
 		if err != nil {
 			return fmt.Errorf("E7 control n=%d: %w", n, err)
@@ -205,9 +205,9 @@ func runThm15CutPhases(cfg Config, w io.Writer, trials int) error {
 			r := root.Split()
 			g := gen.Thm15StrongLowerBound(n)
 			tracker := newCutTracker(g)
-			res := sim.RunDirected(g, core.DirectedTwoHop{}, r, sim.DirectedConfig{
-				Observer: tracker.observe,
-			})
+			dc := cfg.directedEngine()
+			dc.Observer = tracker.observe
+			res := sim.RunDirected(g, core.DirectedTwoHop{}, r, dc)
 			if !res.Converged {
 				return fmt.Errorf("E7 phases n=%d: did not converge", n)
 			}

@@ -54,7 +54,7 @@ func runEvolution(cfg Config, w io.Writer) error {
 			// then replay the *identical* trajectory (same seed) snapshotting
 			// at fixed fractions of it.
 			probe := g.Clone()
-			probeRes := sim.Run(probe, proc, rng.New(runSeed), sim.Config{})
+			probeRes := sim.Run(probe, proc, rng.New(runSeed), cfg.engine())
 			if !probeRes.Converged {
 				return fmt.Errorf("E17 %s: probe did not converge", procName)
 			}
@@ -68,13 +68,15 @@ func runEvolution(cfg Config, w io.Writer) error {
 				addSnapshot(&agg[fi], &counts[fi], metrics.TakeEvolution(0, g))
 				delete(marks, 0)
 			}
-			sim.Run(g, proc, rng.New(runSeed), sim.Config{
-				Observer: func(round int, g *graph.Undirected) {
-					if fi, ok := marks[round]; ok {
-						addSnapshot(&agg[fi], &counts[fi], metrics.TakeEvolution(round, g))
-					}
-				},
-			})
+			// The replay must use the same engine (and so the same rng
+			// discipline) as the probe, or the trajectory would differ.
+			replay := cfg.engine()
+			replay.Observer = func(round int, g *graph.Undirected) {
+				if fi, ok := marks[round]; ok {
+					addSnapshot(&agg[fi], &counts[fi], metrics.TakeEvolution(round, g))
+				}
+			}
+			sim.Run(g, proc, rng.New(runSeed), replay)
 		}
 		for fi, f := range fractions {
 			c := float64(counts[fi])

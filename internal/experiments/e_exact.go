@@ -64,7 +64,7 @@ func runNonMonotonicity(cfg Config, w io.Writer) error {
 			seed := pointSeed(cfg.Seed, hashName(row.name), hashName(k.kern.Name()))
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return row.build()
-			}, k.proc, sim.Config{})
+			}, k.proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("E8 %s/%s: %w", row.name, k.kern.Name(), err)

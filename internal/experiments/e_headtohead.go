@@ -47,7 +47,7 @@ func runHeadToHead(cfg Config, w io.Writer) error {
 			seed := pointSeed(cfg.Seed, uint64(fi), uint64(pi), 1818)
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return fam.Generate(n, r)
-			}, proc, sim.Config{})
+			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("E18 %s/%s: %w", famName, proc.Name(), err)

@@ -47,7 +47,7 @@ func runProtocol(cfg Config, w io.Writer) error {
 		seed := pointSeed(cfg.Seed, hashName(pr.proto.String()))
 		simResults := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 			return gen.Cycle(n)
-		}, pr.proc, sim.Config{})
+		}, pr.proc, cfg.engine())
 		simSum, err := summarizeRounds(simResults)
 		if err != nil {
 			return fmt.Errorf("E13 sim %s: %w", pr.proto, err)
@@ -93,22 +93,22 @@ func runProtocol(cfg Config, w io.Writer) error {
 	for trial := 0; trial < trials; trial++ {
 		r := root.Split()
 		g := gen.RandomTree(24, r)
-		sim.Run(g, core.Push{}, r, sim.Config{
-			MaxRounds: 10,
-			Observer: func(round int, g *graph.Undirected) {
-				delta := g.MinDegree()
-				for u := 0; u < g.N(); u++ {
-					bound := 2 * delta
-					if g.N()-1 < bound {
-						bound = g.N() - 1
-					}
-					checked++
-					if len(g.Ball(u, 4)) < bound {
-						violations++
-					}
+		c := cfg.engine()
+		c.MaxRounds = 10
+		c.Observer = func(round int, g *graph.Undirected) {
+			delta := g.MinDegree()
+			for u := 0; u < g.N(); u++ {
+				bound := 2 * delta
+				if g.N()-1 < bound {
+					bound = g.N() - 1
 				}
-			},
-		})
+				checked++
+				if len(g.Ball(u, 4)) < bound {
+					violations++
+				}
+			}
+		}
+		sim.Run(g, core.Push{}, r, c)
 	}
 	lem := trace.NewTable("E13: Lemma 1 checks along push trajectories on random trees",
 		"node-rounds checked", "violations")

@@ -55,7 +55,7 @@ func runRobustness(cfg Config, w io.Writer) error {
 			seed := pointSeed(cfg.Seed, hashName(procName), uint64(pi))
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return gen.Cycle(n)
-			}, proc, sim.Config{})
+			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("E12 fail p=%.1f: %w", p, err)
@@ -83,7 +83,7 @@ func runRobustness(cfg Config, w io.Writer) error {
 			seed := pointSeed(cfg.Seed, hashName(procName), 100+uint64(qi))
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return gen.Cycle(n)
-			}, proc, sim.Config{})
+			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("E12 part q=%.2f: %w", q, err)
@@ -112,9 +112,9 @@ func runRobustness(cfg Config, w io.Writer) error {
 		for trial := 0; trial < trials; trial++ {
 			r := root.Split()
 			g, alive := buildCrashWorkload(n, r)
-			res := sim.Run(g, crashProcByName(procName, alive), r, sim.Config{
-				Done: metrics.AliveComplete(alive),
-			})
+			c := cfg.engine()
+			c.Done = metrics.AliveComplete(alive)
+			res := sim.Run(g, crashProcByName(procName, alive), r, c)
 			if !res.Converged {
 				return fmt.Errorf("E12 crash %s: run did not converge", procName)
 			}
@@ -127,7 +127,7 @@ func runRobustness(cfg Config, w io.Writer) error {
 		aliveN := n - n/4
 		healthy := sim.Trials(trials, seed+1, func(trial int, r *rng.Rand) *graph.Undirected {
 			return gen.ConnectedER(aliveN, 8.0/float64(aliveN), r)
-		}, plainProcByName(procName), sim.Config{})
+		}, plainProcByName(procName), cfg.engine())
 		healthySum, err := summarizeRounds(healthy)
 		if err != nil {
 			return fmt.Errorf("E12 healthy %s: %w", procName, err)

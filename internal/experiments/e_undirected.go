@@ -91,7 +91,7 @@ func runUpperBoundSweep(cfg Config, w io.Writer, id string, proc core.Process) e
 			seed := pointSeed(cfg.Seed, uint64(fi), uint64(len(famName)), hashName(famName))
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return fam.Generate(n, r)
-			}, proc, sim.Config{})
+			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("%s %s n=%d: %w", id, famName, n, err)
@@ -146,7 +146,7 @@ func runLowerBoundSweep(cfg Config, w io.Writer, id string, proc core.Process) e
 			seed := pointSeed(cfg.Seed, uint64(ni), uint64(ki))
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return gen.NearComplete(n, k, r)
-			}, proc, sim.Config{})
+			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("%s n=%d k=%d: %w", id, n, k, err)
@@ -186,7 +186,9 @@ func runMinDegreeGrowth(cfg Config, w io.Writer) error {
 				r := root.Split()
 				g := gen.Cycle(n)
 				traj := &metrics.Trajectory{}
-				res := sim.Run(g, proc, r, sim.Config{Observer: traj.Observe})
+				c := cfg.engine()
+				c.Observer = traj.Observe
+				res := sim.Run(g, proc, r, c)
 				if !res.Converged {
 					return fmt.Errorf("E9 n=%d: run did not converge", n)
 				}
@@ -242,7 +244,7 @@ func runSubgroup(cfg Config, w io.Writer) error {
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				host := gen.TwoClustersBridge(hostN, 6.0/float64(hostN), r)
 				return inducedConnectedSubset(host, k, r)
-			}, proc, sim.Config{})
+			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {
 				return fmt.Errorf("E10 k=%d: %w", k, err)

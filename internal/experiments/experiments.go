@@ -26,7 +26,18 @@ type Config struct {
 	Scale float64
 	// CSV selects CSV output instead of aligned text.
 	CSV bool
+	// Workers selects the per-run round engine (sim.Config.Workers):
+	// 0 keeps the classic sequential engine, w >= 1 shards each round
+	// over w goroutines. Trial batches already saturate GOMAXPROCS, so
+	// Workers > 1 mainly pays off for large-n single-run sweeps.
+	Workers int
 }
+
+// engine returns the sim.Config every undirected sweep point shares.
+func (c Config) engine() sim.Config { return sim.Config{Workers: c.Workers} }
+
+// directedEngine is the directed analogue of engine.
+func (c Config) directedEngine() sim.DirectedConfig { return sim.DirectedConfig{Workers: c.Workers} }
 
 func (c Config) normalized() Config {
 	if c.Seed == 0 {

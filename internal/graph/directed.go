@@ -66,6 +66,33 @@ func (g *Directed) AddArc(u, v int) bool {
 	return true
 }
 
+// AddArcs inserts a batch of arcs, appending each newly inserted arc to
+// accepted, and returns the updated accepted slice. Self-arcs and
+// already-present arcs (including duplicates earlier in the same batch) are
+// skipped, exactly as a sequence of AddArc calls would skip them. The
+// accepted list lets the round engine update its missing-closure-arc
+// counter without a per-arc callback; pass a reused buffer (resliced to
+// [:0]) to keep the commit path allocation-free in steady state.
+func (g *Directed) AddArcs(arcs []Arc, accepted []Arc) []Arc {
+	n := g.n
+	mat, out := g.mat, g.out
+	for _, a := range arcs {
+		u, v := a.U, a.V
+		if uint(u) >= uint(n) || uint(v) >= uint(n) {
+			panic(fmt.Sprintf("graph: arc (%d, %d) out of range [0,%d)", u, v, n))
+		}
+		if u == v || mat[u].Test(v) {
+			continue
+		}
+		mat[u].Set(v)
+		out[u] = append(out[u], int32(v))
+		g.in[v]++
+		g.m++
+		accepted = append(accepted, a)
+	}
+	return accepted
+}
+
 // HasArc reports whether the arc (u → v) is present.
 func (g *Directed) HasArc(u, v int) bool {
 	g.checkNode(u)

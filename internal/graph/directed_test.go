@@ -295,3 +295,58 @@ func BenchmarkTransitiveClosure(b *testing.B) {
 		g.TransitiveClosure()
 	}
 }
+
+// TestAddArcsMatchesAddArcLoop: the batched arc commit path must match a
+// loop of AddArc calls and report exactly the newly inserted arcs in order.
+func TestAddArcsMatchesAddArcLoop(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		batch := make([]Arc, 0, 3*n)
+		for i := 0; i < 3*n; i++ {
+			batch = append(batch, Arc{U: r.Intn(n), V: r.Intn(n)})
+		}
+		a, b := NewDirected(n), NewDirected(n)
+		var want []Arc
+		for _, arc := range batch {
+			if a.AddArc(arc.U, arc.V) {
+				want = append(want, arc)
+			}
+		}
+		accepted := b.AddArcs(batch, nil)
+		if len(accepted) != len(want) {
+			t.Fatalf("n=%d AddArcs accepted %d want %d", n, len(accepted), len(want))
+		}
+		for i := range want {
+			if accepted[i] != want[i] {
+				t.Fatalf("n=%d accepted[%d] = %v want %v", n, i, accepted[i], want[i])
+			}
+		}
+		if !a.Equal(b) {
+			t.Fatalf("n=%d batched digraph differs from sequential", n)
+		}
+		b.CheckInvariants()
+	}
+}
+
+func TestAddArcsReusesAcceptedBuffer(t *testing.T) {
+	g := NewDirected(8)
+	buf := make([]Arc, 0, 16)
+	out := g.AddArcs([]Arc{{U: 0, V: 1}, {U: 0, V: 1}, {U: 2, V: 2}, {U: 1, V: 0}}, buf[:0])
+	if len(out) != 2 || out[0] != (Arc{U: 0, V: 1}) || out[1] != (Arc{U: 1, V: 0}) {
+		t.Fatalf("accepted arcs %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("accepted slice did not reuse the passed buffer")
+	}
+}
+
+func TestAddArcsOutOfRangePanics(t *testing.T) {
+	g := NewDirected(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddArcs with out-of-range node did not panic")
+		}
+	}()
+	g.AddArcs([]Arc{{U: -1, V: 2}}, nil)
+}

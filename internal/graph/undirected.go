@@ -89,6 +89,34 @@ func (g *Undirected) AddEdge(u, v int) bool {
 	return true
 }
 
+// AddEdges inserts a batch of edges and returns the number that were new.
+// Self-loops and already-present edges (including duplicates earlier in the
+// same batch) are skipped, exactly as a sequence of AddEdge calls would
+// skip them. This is the round engine's commit path: one call per shard
+// buffer replaces one exported-method call per proposal, and the slice
+// headers are loaded once for the whole batch.
+func (g *Undirected) AddEdges(edges []Edge) int {
+	n := g.n
+	mat, adj := g.mat, g.adj
+	added := 0
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if uint(u) >= uint(n) || uint(v) >= uint(n) {
+			panic(fmt.Sprintf("graph: edge {%d, %d} out of range [0,%d)", u, v, n))
+		}
+		if u == v || mat[u].Test(v) {
+			continue
+		}
+		mat[u].Set(v)
+		mat[v].Set(u)
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+		added++
+	}
+	g.m += added
+	return added
+}
+
 // HasEdge reports whether {u, v} is present. HasEdge(u, u) is always false.
 func (g *Undirected) HasEdge(u, v int) bool {
 	g.checkNode(u)

@@ -441,3 +441,59 @@ func BenchmarkRandomNeighbor(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestAddEdgesMatchesAddEdgeLoop: the batched commit path must be
+// observationally identical to a loop of AddEdge calls, including self-loop
+// skipping and in-batch duplicate handling.
+func TestAddEdgesMatchesAddEdgeLoop(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		batch := make([]Edge, 0, 3*n)
+		for i := 0; i < 3*n; i++ {
+			batch = append(batch, Edge{U: r.Intn(n), V: r.Intn(n)})
+		}
+		a, b := NewUndirected(n), NewUndirected(n)
+		want := 0
+		for _, e := range batch {
+			if a.AddEdge(e.U, e.V) {
+				want++
+			}
+		}
+		if got := b.AddEdges(batch); got != want {
+			t.Fatalf("n=%d AddEdges added %d want %d", n, got, want)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("n=%d batched graph differs from sequential", n)
+		}
+		b.CheckInvariants()
+	}
+}
+
+func TestAddEdgesOutOfRangePanics(t *testing.T) {
+	g := NewUndirected(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdges with out-of-range node did not panic")
+		}
+	}()
+	g.AddEdges([]Edge{{U: 1, V: 4}})
+}
+
+func BenchmarkAddEdgesBatchDense(b *testing.B) {
+	n := 256
+	batch := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			batch = append(batch, Edge{U: u, V: v})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewUndirected(n)
+		if g.AddEdges(batch) != len(batch) {
+			b.Fatal("batch insert failed")
+		}
+	}
+}

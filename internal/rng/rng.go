@@ -79,6 +79,20 @@ func (r *Rand) Split() *Rand {
 	return c
 }
 
+// SplitN returns n child generators derived by n sequential Split calls.
+// Because the derivation is sequential, the i-th child depends only on the
+// parent's state and on i — never on goroutine scheduling — which is the
+// property the sharded round engine's determinism contract is built on:
+// shard i always receives the same stream no matter how many workers
+// consume the shards.
+func (r *Rand) SplitN(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // It uses Lemire's nearly-divisionless bounded rejection method.
 func (r *Rand) Intn(n int) int {

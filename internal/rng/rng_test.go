@@ -306,3 +306,23 @@ func BenchmarkIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestSplitNSequentialEquivalence: SplitN(k) must equal k successive Split
+// calls — the sharded engine's per-shard streams depend only on the parent
+// state and the shard index.
+func TestSplitNSequentialEquivalence(t *testing.T) {
+	a, b := New(99), New(99)
+	kids := a.SplitN(8)
+	for i, kid := range kids {
+		want := b.Split()
+		for j := 0; j < 8; j++ {
+			if kid.Uint64() != want.Uint64() {
+				t.Fatalf("SplitN child %d diverges from sequential Split at draw %d", i, j)
+			}
+		}
+	}
+	// Parents must be left in identical states.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN left parent in a different state than sequential splits")
+	}
+}

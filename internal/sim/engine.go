@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gossipdisc/internal/bitset"
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// This file implements the sharded parallel round engine (Workers >= 1).
+//
+// Determinism contract. The node set [0, n) is partitioned into fixed
+// contiguous shards of shardNodes nodes; the shard layout depends only on n,
+// never on the worker count or GOMAXPROCS. Shard i draws every random choice
+// of its nodes — in every round — from its own generator, the i-th child
+// obtained by splitting the run's root generator sequentially at engine
+// construction. During the act phase of a round the graph is read-only and
+// each shard appends proposals to its private buffer; after all shards have
+// acted, the buffers are committed in shard order through the batched
+// graph.Undirected.AddEdges / graph.Directed.AddArcs paths. Every quantity a
+// run reports is therefore a pure function of (graph, process, root
+// generator) and is bit-identical for every Workers >= 1.
+//
+// Zero-alloc steady state. The engine, its shard buffers, the per-shard
+// propose closures, and the per-round shard action are all allocated once
+// per run; rounds only reslice warm buffers. Worker goroutines are started
+// once per run and parked on a channel between rounds, so a round costs two
+// synchronization points (fan-out send, WaitGroup barrier) and no
+// allocations.
+
+// shardNodes is the number of nodes per shard. It is a fixed constant — not
+// derived from Workers or GOMAXPROCS — because the shard layout is part of
+// the determinism contract. 32 nodes keeps enough shards for load balance at
+// the benchmark sizes (n=512 → 16 shards) while keeping the per-round
+// dispatch overhead (one atomic fetch-add per shard) negligible.
+const shardNodes = 32
+
+// shard is the worker-private state of one contiguous node range.
+type shard struct {
+	lo, hi int       // node range [lo, hi)
+	r      *rng.Rand // private stream; i-th sequential split of the root
+	edges  []graph.Edge
+	arcs   []graph.Arc
+	// proposeEdge / proposeArc append to the buffers above; they are built
+	// once at engine construction so the act loop passes a preexisting func
+	// value instead of allocating a closure per node (or per round).
+	proposeEdge func(a, b int)
+	proposeArc  func(a, b int)
+	// pad pushes sibling shards onto different cache lines: during the act
+	// phase distinct workers append to adjacent shard structs concurrently.
+	_ [64]byte
+}
+
+// engine is the reusable sharded round engine shared by Run, RunDirected,
+// and the scale benchmarks. It is created once per run and reused across
+// every round of that run.
+type engine struct {
+	shards  []shard
+	workers int // goroutines consuming shards; 1 = run shards inline
+
+	// Worker-pool state (unused when workers == 1). act is the per-round
+	// shard action; it is stored once per run before the first round.
+	act   func(s *shard)
+	start chan struct{}
+	next  atomic.Int64
+	wg    sync.WaitGroup
+
+	accepted []graph.Arc // commit-phase scratch for directed runs
+}
+
+// newEngine partitions [0, n) into shards, derives the per-shard streams by
+// sequential splits of root, and starts min(workers, len(shards)) parked
+// worker goroutines when workers > 1. Callers must stop() the engine.
+func newEngine(n, workers int, root *rng.Rand) *engine {
+	numShards := (n + shardNodes - 1) / shardNodes
+	if numShards < 1 {
+		numShards = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+	e := &engine{
+		shards:  make([]shard, numShards),
+		workers: workers,
+	}
+	streams := root.SplitN(numShards)
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.lo = i * shardNodes
+		s.hi = s.lo + shardNodes
+		if s.hi > n {
+			s.hi = n
+		}
+		s.r = streams[i]
+		s.proposeEdge = func(a, b int) { s.edges = append(s.edges, graph.Edge{U: a, V: b}) }
+		s.proposeArc = func(a, b int) { s.arcs = append(s.arcs, graph.Arc{U: a, V: b}) }
+	}
+	if e.workers > 1 {
+		e.start = make(chan struct{})
+		for w := 0; w < e.workers; w++ {
+			go e.worker()
+		}
+	}
+	return e
+}
+
+// worker is the body of one parked worker goroutine: on each round signal it
+// drains shards from the shared atomic cursor and reports to the barrier.
+func (e *engine) worker() {
+	for range e.start {
+		for {
+			i := e.next.Add(1) - 1
+			if i >= int64(len(e.shards)) {
+				break
+			}
+			e.act(&e.shards[i])
+		}
+		e.wg.Done()
+	}
+}
+
+// stop releases the worker goroutines. The engine must not be used after.
+func (e *engine) stop() {
+	if e.start != nil {
+		close(e.start)
+	}
+}
+
+// actRound runs act(shard) for every shard. With one worker the shards run
+// inline in shard order; otherwise the parked workers drain them and
+// actRound returns after the barrier. act must treat the graph as read-only
+// and touch only its shard's state, so scheduling cannot influence results.
+func (e *engine) actRound(act func(s *shard)) {
+	if e.workers == 1 {
+		for i := range e.shards {
+			act(&e.shards[i])
+		}
+		return
+	}
+	e.act = act
+	e.next.Store(0)
+	e.wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		e.start <- struct{}{}
+	}
+	e.wg.Wait()
+}
+
+// runUndirected drives g under p to the done predicate with synchronous
+// commits. Caller has already handled the done-at-entry case and defaults.
+func (e *engine) runUndirected(g *graph.Undirected, p core.Process, done func(*graph.Undirected) bool,
+	observer func(int, *graph.Undirected), maxRounds int) Result {
+
+	act := func(s *shard) {
+		for u := s.lo; u < s.hi; u++ {
+			p.Act(g, u, s.r, s.proposeEdge)
+		}
+	}
+	var res Result
+	for round := 1; round <= maxRounds; round++ {
+		e.actRound(act)
+		for i := range e.shards {
+			s := &e.shards[i]
+			res.Proposals += len(s.edges)
+			added := g.AddEdges(s.edges)
+			res.NewEdges += added
+			res.DuplicateProposals += len(s.edges) - added
+			s.edges = s.edges[:0]
+		}
+		res.Rounds = round
+		if observer != nil {
+			observer(round, g)
+		}
+		if done(g) {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}
+
+// runDirected drives g under p until no closure arc is missing. target and
+// missing describe the transitive closure of the initial graph (computed by
+// RunDirected); res arrives with TargetArcs already filled in.
+func (e *engine) runDirected(g *graph.Directed, p core.DirectedProcess,
+	observer func(int, *graph.Directed), maxRounds int,
+	target []*bitset.Set, missing int, res DirectedResult) DirectedResult {
+
+	act := func(s *shard) {
+		for u := s.lo; u < s.hi; u++ {
+			p.Act(g, u, s.r, s.proposeArc)
+		}
+	}
+	for round := 1; round <= maxRounds; round++ {
+		e.actRound(act)
+		for i := range e.shards {
+			s := &e.shards[i]
+			res.Proposals += len(s.arcs)
+			e.accepted = g.AddArcs(s.arcs, e.accepted[:0])
+			res.NewArcs += len(e.accepted)
+			res.DuplicateProposals += len(s.arcs) - len(e.accepted)
+			for _, a := range e.accepted {
+				if target[a.U].Test(a.V) {
+					missing--
+				}
+			}
+			s.arcs = s.arcs[:0]
+		}
+		res.Rounds = round
+		if observer != nil {
+			observer(round, g)
+		}
+		if missing == 0 {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

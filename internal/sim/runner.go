@@ -7,6 +7,37 @@
 // each proposal immediately, so later nodes in the same round observe edges
 // added by earlier ones; it is provided as an ablation (experiment E1/E3
 // report both; the asymptotics are indistinguishable).
+//
+// # The sharded engine
+//
+// Synchronous rounds are embarrassingly parallel: during a round the graph
+// is read-only and every node only *proposes* edges. Config.Workers (and
+// DirectedConfig.Workers) selects between two engines:
+//
+//   - Workers == 0 (the default) runs the classic sequential engine: one
+//     generator stream drives all nodes in node order. This path is
+//     bit-compatible with earlier releases — existing (seed → Result)
+//     pairs are unchanged.
+//   - Workers >= 1 runs the sharded engine (engine.go): the node set is
+//     partitioned into fixed 32-node shards, shard i acts with the i-th
+//     sequential split of the run's generator, and shard buffers are
+//     committed in shard order through the batched graph commit paths.
+//     Because the shard layout and streams depend only on n and the root
+//     generator, results are bit-identical for every Workers >= 1 and any
+//     GOMAXPROCS; Workers == 1 simply runs the shards inline without
+//     goroutines, and Workers > 1 spreads them over parked worker
+//     goroutines with two synchronization points per round.
+//
+// Both engines allocate only at run setup: propose closures are hoisted out
+// of the per-node loop, and proposal buffers are reused across rounds, so a
+// steady-state round performs zero allocations.
+//
+// CommitEager is inherently sequential — its semantics *are* the node
+// order — so eager runs always use the sequential engine and ignore
+// Workers. Processes must not mutate shared state in Act when Workers > 1
+// (the paper's processes are stateless; stateful instrumented processes
+// such as the baselines' ID meters should run with Workers <= 1 or guard
+// their state).
 package sim
 
 import (
@@ -47,6 +78,11 @@ type Config struct {
 	MaxRounds int
 	// Mode selects the commit semantics (default CommitSynchronous).
 	Mode CommitMode
+	// Workers selects the round engine. 0 (default) is the classic
+	// sequential engine; w >= 1 shards each round over w goroutines with
+	// results identical for every w >= 1 (see the package comment for the
+	// determinism contract). Ignored under CommitEager.
+	Workers int
 	// Done, if non-nil, overrides the convergence predicate (default:
 	// graph is complete). It is evaluated after every round.
 	Done func(g *graph.Undirected) bool
@@ -102,39 +138,54 @@ func Run(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) Result {
 		res.Converged = true
 		return res
 	}
+	if cfg.Mode == CommitSynchronous && cfg.Workers >= 1 {
+		e := newEngine(g.N(), cfg.Workers, r)
+		defer e.stop()
+		return e.runUndirected(g, p, done, cfg.Observer, maxRounds)
+	}
+	return runSequential(g, p, r, cfg, done, maxRounds)
+}
 
+// runSequential is the classic single-stream engine: all nodes act in node
+// order off one generator. The propose closures are hoisted out of the
+// round loop, so steady-state rounds allocate nothing.
+func runSequential(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config,
+	done func(*graph.Undirected) bool, maxRounds int) Result {
+
+	var res Result
 	n := g.N()
 	var buf []graph.Edge // reused across rounds in synchronous mode
+	var propose func(a, b int)
+	switch cfg.Mode {
+	case CommitSynchronous:
+		propose = func(a, b int) {
+			res.Proposals++
+			buf = append(buf, graph.Edge{U: a, V: b})
+		}
+	case CommitEager:
+		propose = func(a, b int) {
+			res.Proposals++
+			if g.AddEdge(a, b) {
+				res.NewEdges++
+			} else {
+				res.DuplicateProposals++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
+	}
+
 	for round := 1; round <= maxRounds; round++ {
-		switch cfg.Mode {
-		case CommitSynchronous:
+		if cfg.Mode == CommitSynchronous {
 			buf = buf[:0]
-			for u := 0; u < n; u++ {
-				p.Act(g, u, r, func(a, b int) {
-					res.Proposals++
-					buf = append(buf, graph.Edge{U: a, V: b})
-				})
-			}
-			for _, e := range buf {
-				if g.AddEdge(e.U, e.V) {
-					res.NewEdges++
-				} else {
-					res.DuplicateProposals++
-				}
-			}
-		case CommitEager:
-			for u := 0; u < n; u++ {
-				p.Act(g, u, r, func(a, b int) {
-					res.Proposals++
-					if g.AddEdge(a, b) {
-						res.NewEdges++
-					} else {
-						res.DuplicateProposals++
-					}
-				})
-			}
-		default:
-			panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
+		}
+		for u := 0; u < n; u++ {
+			p.Act(g, u, r, propose)
+		}
+		if cfg.Mode == CommitSynchronous {
+			added := g.AddEdges(buf)
+			res.NewEdges += added
+			res.DuplicateProposals += len(buf) - added
 		}
 		res.Rounds = round
 		if cfg.Observer != nil {
@@ -155,6 +206,8 @@ type DirectedConfig struct {
 	MaxRounds int
 	// Mode selects commit semantics (default CommitSynchronous).
 	Mode CommitMode
+	// Workers selects the round engine, exactly as Config.Workers.
+	Workers int
 	// Observer, if non-nil, is called after every committed round.
 	Observer func(round int, g *graph.Directed)
 }
@@ -209,9 +262,15 @@ func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg Dir
 		res.Converged = true
 		return res
 	}
+	if cfg.Mode == CommitSynchronous && cfg.Workers >= 1 {
+		e := newEngine(g.N(), cfg.Workers, r)
+		defer e.stop()
+		return e.runDirected(g, p, cfg.Observer, maxRounds, target, missing, res)
+	}
 
 	n := g.N()
-	var buf []graph.Arc
+	var buf, accepted []graph.Arc
+	var propose func(a, b int)
 	commit := func(a, b int) {
 		if g.AddArc(a, b) {
 			res.NewArcs++
@@ -222,28 +281,36 @@ func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg Dir
 			res.DuplicateProposals++
 		}
 	}
+	switch cfg.Mode {
+	case CommitSynchronous:
+		propose = func(a, b int) {
+			res.Proposals++
+			buf = append(buf, graph.Arc{U: a, V: b})
+		}
+	case CommitEager:
+		propose = func(a, b int) {
+			res.Proposals++
+			commit(a, b)
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
+	}
 	for round := 1; round <= maxRounds; round++ {
-		switch cfg.Mode {
-		case CommitSynchronous:
+		if cfg.Mode == CommitSynchronous {
 			buf = buf[:0]
-			for u := 0; u < n; u++ {
-				p.Act(g, u, r, func(a, b int) {
-					res.Proposals++
-					buf = append(buf, graph.Arc{U: a, V: b})
-				})
+		}
+		for u := 0; u < n; u++ {
+			p.Act(g, u, r, propose)
+		}
+		if cfg.Mode == CommitSynchronous {
+			accepted = g.AddArcs(buf, accepted[:0])
+			res.NewArcs += len(accepted)
+			res.DuplicateProposals += len(buf) - len(accepted)
+			for _, a := range accepted {
+				if target[a.U].Test(a.V) {
+					missing--
+				}
 			}
-			for _, a := range buf {
-				commit(a.U, a.V)
-			}
-		case CommitEager:
-			for u := 0; u < n; u++ {
-				p.Act(g, u, r, func(a, b int) {
-					res.Proposals++
-					commit(a, b)
-				})
-			}
-		default:
-			panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
 		}
 		res.Rounds = round
 		if cfg.Observer != nil {

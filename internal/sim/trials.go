@@ -21,7 +21,11 @@ import (
 // build receives the trial index and a trial-private generator and must
 // return a fresh initial graph. The same generator (advanced past build's
 // consumption) then drives the process, so a trial is one deterministic
-// function of (seed, trial index).
+// function of (seed, trial index) — including cfg.Workers: the sharded
+// engine is deterministic per run, so its results stay reproducible here.
+// Note that trials already saturate GOMAXPROCS, so cfg.Workers > 1 inside a
+// large batch oversubscribes the machine; per-run workers pay off for a few
+// large-n runs, trial-level parallelism for many small ones.
 func Trials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Undirected,
 	p core.Process, cfg Config) []Result {
 

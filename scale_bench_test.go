@@ -1,0 +1,74 @@
+package gossipdisc_test
+
+// Large-n scaling suite for the sharded parallel round engine. Each
+// benchmark runs one full convergence per iteration and compares the
+// sharded engine at Workers=1 ("seq") against Workers=GOMAXPROCS ("par") —
+// the two are bit-identical in results, so any ns/op gap is pure engine
+// speedup. "legacy" is the classic single-stream sequential engine
+// (Workers: 0) for reference against the pre-sharding baseline. Baselines
+// are recorded in BENCH_pr1.json; CI runs -bench=BenchmarkScale
+// -benchtime=1x as a smoke test.
+
+import (
+	"runtime"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+func benchScalePush(b *testing.B, n int) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"legacy", 0},
+		{"seq", 1},
+		{"par", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := rng.New(uint64(n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := gen.Cycle(n)
+				res := sim.Run(g, core.Push{}, r.Split(), sim.Config{Workers: bc.workers})
+				if !res.Converged {
+					b.Fatal("run did not converge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScalePush512(b *testing.B)  { benchScalePush(b, 512) }
+func BenchmarkScalePush1024(b *testing.B) { benchScalePush(b, 1024) }
+func BenchmarkScalePush2048(b *testing.B) { benchScalePush(b, 2048) }
+
+func benchScaleDirected(b *testing.B, n int) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"legacy", 0},
+		{"seq", 1},
+		{"par", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := rng.New(uint64(n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := gen.RandomStronglyConnected(n, n/2, r)
+				res := sim.RunDirected(g, core.DirectedTwoHop{}, r.Split(),
+					sim.DirectedConfig{Workers: bc.workers})
+				if !res.Converged {
+					b.Fatal("run did not converge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScaleDirected128(b *testing.B) { benchScaleDirected(b, 128) }
+func BenchmarkScaleDirected256(b *testing.B) { benchScaleDirected(b, 256) }
