@@ -125,9 +125,12 @@ func main() {
 		}
 		cfg := sim.Config{Mode: commit, Workers: *workers}
 		if *traceAt > 0 && t == 0 {
+			// Delta mode: the trajectory is fed from the commit path's
+			// streaming deltas, so tracing adds no per-round graph scans.
 			traj := &metrics.Trajectory{Every: *traceAt}
-			cfg.Observer = traj.Observe
+			cfg.DeltaObserver = traj.ObserveDelta
 			defer func(traj *metrics.Trajectory) {
+				traj.Finalize()
 				tt := trace.NewTable("min-degree trajectory (trial 0)",
 					"round", "min deg", "max deg", "edges", "missing")
 				for _, s := range traj.Snapshots {

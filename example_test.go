@@ -59,6 +59,52 @@ func ExampleTrials() {
 	// trial 2 converged: true
 }
 
+// ExampleRunParallel runs the sharded deterministic engine: results are
+// bit-identical for every worker count >= 1, so the worker count is purely
+// a performance knob.
+func ExampleRunParallel() {
+	a := gossipdisc.Cycle(64)
+	resA := gossipdisc.RunParallel(a, gossipdisc.Push{}, 9, 1)
+
+	b := gossipdisc.Cycle(64)
+	resB := gossipdisc.RunParallel(b, gossipdisc.Push{}, 9, 4)
+
+	fmt.Println("converged:", resA.Converged && resB.Converged)
+	fmt.Println("same rounds:", resA.Rounds == resB.Rounds)
+	fmt.Println("same graph:", a.Equal(b))
+	fmt.Println("same result:", resA == resB)
+	// Output:
+	// converged: true
+	// same rounds: true
+	// same graph: true
+	// same result: true
+}
+
+// ExampleConfig_deltaObserver consumes the streaming delta the engine emits
+// from its commit path each round: the new edges, per-node degree
+// increments, and the edges-remaining counter. A metrics Trajectory uses the
+// same stream to record min-degree curves without re-scanning the graph.
+func ExampleConfig_deltaObserver() {
+	g := gossipdisc.Path(12)
+	streamed := 0
+	traj := &gossipdisc.Trajectory{Every: 25}
+	res := gossipdisc.RunWithConfig(g, gossipdisc.Push{}, 3, gossipdisc.Config{
+		DeltaObserver: func(g *gossipdisc.Graph, d *gossipdisc.RoundDelta) {
+			streamed += len(d.NewEdges) // delta slices are reused: don't retain
+			traj.ObserveDelta(g, d)
+		},
+	})
+	traj.Finalize()
+	fmt.Println("delta stream edges == result new edges:", streamed == res.NewEdges)
+	last := traj.Snapshots[len(traj.Snapshots)-1]
+	fmt.Println("final round recorded despite subsampling:", last.Round == res.Rounds)
+	fmt.Println("final min degree:", last.MinDegree)
+	// Output:
+	// delta stream edges == result new edges: true
+	// final round recorded despite subsampling: true
+	// final min degree: 11
+}
+
 // ExampleRunWithConfig stops a run at a custom condition: a minimum degree
 // target rather than completeness.
 func ExampleRunWithConfig() {

@@ -31,6 +31,22 @@ func main() {
 	lnN := math.Log(float64(n))
 	fmt.Printf("for scale: n·ln²n = %.0f\n", float64(n)*lnN*lnN)
 
+	// Watch discovery happen. The engine streams a delta from its commit
+	// path after every round (new edges, degree increments, edges left);
+	// a Trajectory consumes the stream incrementally, so recording the
+	// whole min-degree curve never re-scans the graph.
+	traj := &gossipdisc.Trajectory{Every: 10}
+	k := gossipdisc.Cycle(n)
+	gossipdisc.RunWithConfig(k, gossipdisc.Push{}, 42, gossipdisc.Config{
+		DeltaObserver: traj.ObserveDelta,
+	})
+	traj.Finalize()
+	fmt.Print("min degree every 10 rounds: ")
+	for _, s := range traj.Snapshots {
+		fmt.Printf("%d ", s.MinDegree)
+	}
+	fmt.Println()
+
 	// For tiny graphs the library can compute expected times *exactly*
 	// (absorbing Markov chain over edge subsets).
 	p3 := gossipdisc.Path(3)

@@ -39,6 +39,7 @@ import (
 	"gossipdisc/internal/gen"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/markov"
+	"gossipdisc/internal/metrics"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
 )
@@ -87,6 +88,34 @@ type (
 	DirectedResult = sim.DirectedResult
 	// Rand is the deterministic generator used throughout.
 	Rand = rng.Rand
+)
+
+// Streaming delta pipeline (see DESIGN.md "The delta observer pipeline").
+// The commit path emits a per-round delta — the new edges, the degree
+// increments they imply, and the O(1) edges-remaining counter — so
+// trajectory recording no longer re-scans the graph every round.
+type (
+	// RoundDelta is one committed round's change set for undirected runs;
+	// set Config.DeltaObserver to receive the stream.
+	RoundDelta = sim.RoundDelta
+	// DirectedRoundDelta is the directed counterpart, carrying the
+	// closure-arcs-remaining progress counter.
+	DirectedRoundDelta = sim.DirectedRoundDelta
+)
+
+// Trajectory recording (package metrics re-exports). A Trajectory consumes
+// either observer stream: Observe plugs into Config.Observer (full-graph
+// snapshots), ObserveDelta plugs into Config.DeltaObserver and maintains
+// degrees, the degree histogram, and min/max degree incrementally.
+type (
+	// Snapshot is a per-round summary of an undirected graph's state.
+	Snapshot = metrics.Snapshot
+	// Trajectory records a time series of Snapshots.
+	Trajectory = metrics.Trajectory
+	// DirectedSnapshot is a per-round summary of a directed run.
+	DirectedSnapshot = metrics.DirectedSnapshot
+	// DirectedTrajectory records directed snapshots.
+	DirectedTrajectory = metrics.DirectedTrajectory
 )
 
 // Commit semantics (see DESIGN.md "Synchronous commit semantics").

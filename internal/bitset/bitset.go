@@ -3,7 +3,9 @@
 // The simulators use bitsets for reachability and transitive-closure
 // computations on directed graphs, where an n×n boolean matrix stored as n
 // bitsets supports the union-heavy inner loops of BFS-based closure with
-// word-level parallelism.
+// word-level parallelism. The OrWord primitive additionally exposes a fused
+// word-level test-and-set, which the graph commit paths use to insert a
+// proposal and learn whether it was new in a single load/store.
 package bitset
 
 import (
@@ -53,6 +55,18 @@ func (s *Set) Clear(i int) {
 func (s *Set) Test(i int) bool {
 	s.check(i)
 	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// OrWord ors mask into the wi-th 64-bit word (bit j of the word is bit
+// wi*64+j of the set) and returns the bits that were newly set (mask &^
+// old). This is the graph commit paths' fused test-and-set: one load/store
+// answers "was this bit set?" and sets it, where Test+Set would cost two.
+// Callers must not set bits at or beyond Len(); doing so corrupts Count and
+// iteration.
+func (s *Set) OrWord(wi int, mask uint64) uint64 {
+	old := s.words[wi]
+	s.words[wi] = old | mask
+	return mask &^ old
 }
 
 // Count returns the number of set bits.

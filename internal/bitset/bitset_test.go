@@ -259,3 +259,42 @@ func BenchmarkUnionWith(b *testing.B) {
 		a.UnionWith(c)
 	}
 }
+
+func TestWordOps(t *testing.T) {
+	s := New(130)
+	s.Set(5)
+	s.Set(64)
+	// OrWord returns exactly the newly set bits.
+	newBits := s.OrWord(0, 1<<5|1<<7)
+	if newBits != 1<<7 {
+		t.Fatalf("OrWord new bits = %x, want %x", newBits, uint64(1<<7))
+	}
+	if !s.Test(7) || !s.Test(5) || !s.Test(64) {
+		t.Fatal("OrWord clobbered or missed bits")
+	}
+	if got := s.OrWord(0, 1<<7); got != 0 {
+		t.Fatalf("re-OR of present bit returned %x", got)
+	}
+	if got := s.OrWord(2, 1); got != 1 || !s.Test(128) {
+		t.Fatalf("OrWord in last word: new bits %x", got)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+}
+
+func TestWordOpsAgainstSet(t *testing.T) {
+	// Property: OrWord-driven insertion is equivalent to bit-by-bit Set.
+	f := func(idxs []uint16) bool {
+		a, b := New(1000), New(1000)
+		for _, raw := range idxs {
+			i := int(raw) % 1000
+			a.Set(i)
+			b.OrWord(i/64, 1<<(uint(i)%64))
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

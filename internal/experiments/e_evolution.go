@@ -69,11 +69,14 @@ func runEvolution(cfg Config, w io.Writer) error {
 				delete(marks, 0)
 			}
 			// The replay must use the same engine (and so the same rng
-			// discipline) as the probe, or the trajectory would differ.
+			// discipline) as the probe, or the trajectory would differ. The
+			// delta observer streams from the commit path, so off-checkpoint
+			// rounds cost O(1) instead of an observer-side graph inspection;
+			// the expensive evolution snapshot runs only at the marks.
 			replay := cfg.engine()
-			replay.Observer = func(round int, g *graph.Undirected) {
-				if fi, ok := marks[round]; ok {
-					addSnapshot(&agg[fi], &counts[fi], metrics.TakeEvolution(round, g))
+			replay.DeltaObserver = func(g *graph.Undirected, d *sim.RoundDelta) {
+				if fi, ok := marks[d.Round]; ok {
+					addSnapshot(&agg[fi], &counts[fi], metrics.TakeEvolution(d.Round, g))
 				}
 			}
 			sim.Run(g, proc, rng.New(runSeed), replay)

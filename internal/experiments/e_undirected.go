@@ -187,7 +187,7 @@ func runMinDegreeGrowth(cfg Config, w io.Writer) error {
 				g := gen.Cycle(n)
 				traj := &metrics.Trajectory{}
 				c := cfg.engine()
-				c.Observer = traj.Observe
+				c.DeltaObserver = traj.ObserveDelta
 				res := sim.Run(g, proc, r, c)
 				if !res.Converged {
 					return fmt.Errorf("E9 n=%d: run did not converge", n)

@@ -69,27 +69,43 @@ func (g *Directed) AddArc(u, v int) bool {
 // AddArcs inserts a batch of arcs, appending each newly inserted arc to
 // accepted, and returns the updated accepted slice. Self-arcs and
 // already-present arcs (including duplicates earlier in the same batch) are
-// skipped, exactly as a sequence of AddArc calls would skip them. The
-// accepted list lets the round engine update its missing-closure-arc
-// counter without a per-arc callback; pass a reused buffer (resliced to
-// [:0]) to keep the commit path allocation-free in steady state.
+// skipped, exactly as a sequence of AddArc calls would skip them. It
+// delegates to AddArcsGrouped — the engines' commit path — so the two can
+// never diverge.
 func (g *Directed) AddArcs(arcs []Arc, accepted []Arc) []Arc {
+	return g.AddArcsGrouped(arcs, accepted)
+}
+
+// AddArcsGrouped inserts a batch of arcs exactly like AddArcs — same final
+// graph, same out-list insertion order, same duplicate semantics — but
+// applies each proposal to its tail row with a single fused word-level OR
+// (bitset.OrWord doubles as membership test and insertion) and appends
+// every newly inserted arc to accepted, returning the grown slice in
+// deterministic batch (commit) order; this list is the round's arc delta.
+// Pass a reused buffer (resliced to [:0]) to keep the commit
+// allocation-free in steady state. See AddEdgesGrouped for why batch order
+// beats counting-sort row grouping here.
+func (g *Directed) AddArcsGrouped(arcs []Arc, accepted []Arc) []Arc {
 	n := g.n
 	mat, out := g.mat, g.out
+	added := 0
 	for _, a := range arcs {
 		u, v := a.U, a.V
 		if uint(u) >= uint(n) || uint(v) >= uint(n) {
 			panic(fmt.Sprintf("graph: arc (%d, %d) out of range [0,%d)", u, v, n))
 		}
-		if u == v || mat[u].Test(v) {
+		if u == v {
 			continue
 		}
-		mat[u].Set(v)
+		if mat[u].OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
+			continue
+		}
 		out[u] = append(out[u], int32(v))
 		g.in[v]++
-		g.m++
 		accepted = append(accepted, a)
+		added++
 	}
+	g.m += added
 	return accepted
 }
 

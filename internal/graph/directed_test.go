@@ -350,3 +350,73 @@ func TestAddArcsOutOfRangePanics(t *testing.T) {
 	}()
 	g.AddArcs([]Arc{{U: -1, V: 2}}, nil)
 }
+
+// TestAddArcsGroupedEquivalence: the grouped arc commit (which AddArcs
+// delegates to) must be state-identical to a sequence of per-arc AddArc
+// calls (same matrix, same out-list insertion order, same in-degrees) and
+// must accept the same arcs in the same order.
+func TestAddArcsGroupedEquivalence(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		r := rng.New(seed)
+		const n = 50
+		base := NewDirected(n)
+		for i := 0; i < 30; i++ {
+			base.AddArc(r.Intn(n), r.Intn(n))
+		}
+		var batch []Arc
+		for _, x := range raw {
+			batch = append(batch, Arc{U: int(x) % n, V: int(x/50) % n})
+		}
+		a, b := base.Clone(), base.Clone()
+		var acceptedA []Arc
+		for _, x := range batch {
+			if a.AddArc(x.U, x.V) {
+				acceptedA = append(acceptedA, x)
+			}
+		}
+		acceptedB := b.AddArcsGrouped(batch, nil)
+		if len(acceptedA) != len(acceptedB) {
+			return false
+		}
+		// Both variants report accepted arcs in batch order.
+		for i := range acceptedA {
+			if acceptedA[i] != acceptedB[i] {
+				return false
+			}
+		}
+		if !a.Equal(b) || a.M() != b.M() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if a.OutDegree(u) != b.OutDegree(u) || a.InDegree(u) != b.InDegree(u) {
+				return false
+			}
+			oa, ob := a.OutNeighbors(u, nil), b.OutNeighbors(u, nil)
+			for i := range oa {
+				if oa[i] != ob[i] {
+					t.Logf("out-list order differs at node %d index %d", u, i)
+					return false
+				}
+			}
+		}
+		b.CheckInvariants()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddArcsGroupedCommitOrder(t *testing.T) {
+	g := NewDirected(8)
+	accepted := g.AddArcsGrouped([]Arc{{5, 1}, {2, 3}, {5, 0}, {2, 3}, {1, 1}}, nil)
+	want := []Arc{{5, 1}, {2, 3}, {5, 0}} // in-batch duplicate and self-arc dropped
+	if len(accepted) != len(want) {
+		t.Fatalf("accepted %v", accepted)
+	}
+	for i := range want {
+		if accepted[i] != want[i] {
+			t.Fatalf("accepted order %v, want %v", accepted, want)
+		}
+	}
+}

@@ -92,10 +92,30 @@ func (g *Undirected) AddEdge(u, v int) bool {
 // AddEdges inserts a batch of edges and returns the number that were new.
 // Self-loops and already-present edges (including duplicates earlier in the
 // same batch) are skipped, exactly as a sequence of AddEdge calls would
-// skip them. This is the round engine's commit path: one call per shard
-// buffer replaces one exported-method call per proposal, and the slice
-// headers are loaded once for the whole batch.
+// skip them. It is the count-only convenience over AddEdgesGrouped — the
+// engines' commit path — and delegates to it so the two can never diverge.
 func (g *Undirected) AddEdges(edges []Edge) int {
+	return len(g.AddEdgesGrouped(edges, nil))
+}
+
+// AddEdgesGrouped inserts a batch of edges exactly like AddEdges — same
+// final graph, same adjacency insertion order, same duplicate semantics —
+// but appends every newly inserted edge (normalized U < V) to accepted and
+// returns the grown slice. This is the round engine's commit path, and the
+// accepted list is the round's edge delta, emitted in deterministic batch
+// (commit) order.
+//
+// Each proposal is applied to its graph row with a single fused word-level
+// OR (bitset.OrWord): the returned new-bits mask is both the membership
+// test and the insertion, replacing the Test+Set+Set sequence of the
+// per-edge path. A stable counting-sort row grouping of the batch was
+// benchmarked here and lost 2–4× across every regime — gossip proposals
+// have no row locality, so sorting costs more than the matrix accesses it
+// saves (see DESIGN.md "Word-level batched commits").
+//
+// Pass a reused buffer (resliced to [:0]) to keep the commit
+// allocation-free in steady state.
+func (g *Undirected) AddEdgesGrouped(edges []Edge, accepted []Edge) []Edge {
 	n := g.n
 	mat, adj := g.mat, g.adj
 	added := 0
@@ -104,17 +124,20 @@ func (g *Undirected) AddEdges(edges []Edge) int {
 		if uint(u) >= uint(n) || uint(v) >= uint(n) {
 			panic(fmt.Sprintf("graph: edge {%d, %d} out of range [0,%d)", u, v, n))
 		}
-		if u == v || mat[u].Test(v) {
+		if u == v {
 			continue
 		}
-		mat[u].Set(v)
-		mat[v].Set(u)
+		if mat[u].OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
+			continue // already present, or a duplicate earlier in the batch
+		}
+		mat[v].OrWord(u>>6, 1<<(uint(u)&63))
 		adj[u] = append(adj[u], int32(v))
 		adj[v] = append(adj[v], int32(u))
+		accepted = append(accepted, e.Norm())
 		added++
 	}
 	g.m += added
-	return added
+	return accepted
 }
 
 // HasEdge reports whether {u, v} is present. HasEdge(u, u) is always false.

@@ -497,3 +497,98 @@ func BenchmarkAddEdgesBatchDense(b *testing.B) {
 		}
 	}
 }
+
+// TestAddEdgesGroupedEquivalence: the grouped commit (which AddEdges
+// delegates to) must be state-identical to a sequence of per-edge AddEdge
+// calls — same matrix, same adjacency *insertion order* (the order random
+// neighbor sampling indexes into), same new-edge count — while also
+// returning the accepted edges normalized and deduplicated.
+func TestAddEdgesGroupedEquivalence(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		r := rng.New(seed)
+		const n = 60
+		// Random batches over a random base graph, with duplicates, reversed
+		// duplicates, and self-loops mixed in.
+		base := NewUndirected(n)
+		for i := 0; i < 40; i++ {
+			base.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		var batch []Edge
+		for _, x := range raw {
+			u, v := int(x)%n, int(x/60)%n
+			batch = append(batch, Edge{U: u, V: v})
+			if u != v && len(batch)%3 == 0 {
+				batch = append(batch, Edge{U: v, V: u}) // reversed duplicate
+			}
+		}
+		a, b := base.Clone(), base.Clone()
+		added := 0
+		for _, e := range batch {
+			if a.AddEdge(e.U, e.V) {
+				added++
+			}
+		}
+		accepted := b.AddEdgesGrouped(batch, nil)
+		if len(accepted) != added {
+			t.Logf("accepted %d, AddEdge added %d", len(accepted), added)
+			return false
+		}
+		if !a.Equal(b) || a.M() != b.M() {
+			return false
+		}
+		// Adjacency insertion order must match exactly.
+		for u := 0; u < n; u++ {
+			if a.Degree(u) != b.Degree(u) {
+				return false
+			}
+			for i := 0; i < a.Degree(u); i++ {
+				if a.Neighbor(u, i) != b.Neighbor(u, i) {
+					t.Logf("adj order differs at node %d index %d", u, i)
+					return false
+				}
+			}
+		}
+		// Accepted edges: normalized, unique, and actually new w.r.t. base.
+		seen := map[Edge]bool{}
+		for _, e := range accepted {
+			if e.U >= e.V || seen[e] || base.HasEdge(e.U, e.V) {
+				return false
+			}
+			seen[e] = true
+		}
+		b.CheckInvariants()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddEdgesGroupedReuse: the accepted buffer and the graph-owned scratch
+// are reusable across commits without cross-talk.
+func TestAddEdgesGroupedReuse(t *testing.T) {
+	g := NewUndirected(10)
+	buf := make([]Edge, 0, 16)
+	buf = g.AddEdgesGrouped([]Edge{{0, 1}, {1, 2}, {0, 1}}, buf[:0])
+	if len(buf) != 2 {
+		t.Fatalf("first commit accepted %v", buf)
+	}
+	buf = g.AddEdgesGrouped([]Edge{{1, 2}, {2, 3}, {3, 3}}, buf[:0])
+	if len(buf) != 1 || (buf[0] != Edge{2, 3}) {
+		t.Fatalf("second commit accepted %v", buf)
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+	g.CheckInvariants()
+}
+
+func TestAddEdgesGroupedOutOfRangePanics(t *testing.T) {
+	g := NewUndirected(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdgesGrouped with out-of-range node did not panic")
+		}
+	}()
+	g.AddEdgesGrouped([]Edge{{U: 1, V: 4}}, nil)
+}

@@ -1,10 +1,20 @@
 // Package metrics computes the graph observables the paper's analysis
 // tracks: minimum degree (the proofs' progress measure), missing edges,
-// neighborhood structure, and per-round trajectories.
+// degree histograms, neighborhood structure, and per-round trajectories.
+//
+// Trajectories consume either of the engine's observer streams. Snapshot
+// mode (Trajectory.Observe ← sim.Config.Observer) summarizes the live graph
+// by scanning it; delta mode (Trajectory.ObserveDelta ←
+// sim.Config.DeltaObserver) consumes the per-round deltas the commit path
+// emits and maintains all per-node state incrementally, which keeps
+// trajectory recording O(new edges) per round and allocation-flat. Both
+// modes always record the final committed round even under subsampling
+// (Every > 1) — see Trajectory.Finalize.
 package metrics
 
 import (
 	"gossipdisc/internal/graph"
+	"gossipdisc/internal/sim"
 )
 
 // Snapshot is a per-round summary of an undirected graph's state.
@@ -27,28 +37,165 @@ func Take(round int, g *graph.Undirected) Snapshot {
 	}
 }
 
-// Trajectory records a time series of snapshots. Its Observe method plugs
-// directly into sim.Config.Observer; pass Every > 1 to subsample rounds
-// (the final converged round is always captured because convergence implies
-// MinDegree == n-1, observed at the last call).
+// Trajectory records a time series of snapshots. It has two observation
+// modes sharing the same Snapshots output:
+//
+//   - Snapshot mode: Observe plugs into sim.Config.Observer and summarizes
+//     the graph by scanning it (O(n) per recorded round).
+//   - Delta mode: ObserveDelta plugs into sim.Config.DeltaObserver and
+//     maintains degrees, the degree histogram, and the min/max degree
+//     incrementally from the round's edge delta (O(new edges) per round, no
+//     graph scans after the first round).
+//
+// Use one mode per Trajectory, not both. Pass Every > 1 to subsample
+// rounds; the final committed round is always recorded regardless of
+// subsampling — it is held pending and appended by Finalize, which every
+// accessor calls, so `traj.Snapshots` readers should call Finalize() after
+// the run (the accessor methods do it automatically).
 type Trajectory struct {
 	Every     int
 	Snapshots []Snapshot
+
+	// Pending final round (see Finalize). In snapshot mode the graph
+	// pointer is retained and summarized lazily — it is the live run graph,
+	// so at Finalize time it holds exactly the state of the last observed
+	// round. In delta mode the snapshot is materialized immediately (O(1)).
+	pendingRound int
+	pendingG     *graph.Undirected
+	pendingSnap  Snapshot
+	havePending  bool
+
+	// Incremental state (delta mode only).
+	inited bool
+	m      int
+	minDeg int
+	maxDeg int
+	deg    []int32
+	hist   []int32 // hist[d] = number of nodes with degree d
 }
 
-// Observe implements the sim observer signature.
+// Observe implements the sim observer signature (snapshot mode).
 func (t *Trajectory) Observe(round int, g *graph.Undirected) {
-	every := t.Every
-	if every <= 0 {
-		every = 1
-	}
-	if round%every == 0 || g.IsComplete() {
+	if round%t.every() == 0 || g.IsComplete() {
 		t.Snapshots = append(t.Snapshots, Take(round, g))
+		t.havePending = false
+		return
 	}
+	t.pendingRound, t.pendingG, t.havePending = round, g, true
+}
+
+// ObserveDelta implements the sim delta observer signature (delta mode). It
+// consumes the per-round edge delta the commit path emits, so trajectory
+// recording never re-scans the graph: state is initialized once from the
+// first delta (rewinding that round's increments) and advanced by O(new
+// edges) work per round afterwards.
+func (t *Trajectory) ObserveDelta(g *graph.Undirected, d *sim.RoundDelta) {
+	if !t.inited {
+		t.init(g, d)
+	}
+	for _, u := range d.Touched {
+		old := t.deg[u]
+		now := old + d.DegreeInc[u]
+		t.hist[old]--
+		t.hist[now]++
+		t.deg[u] = now
+		if int(now) > t.maxDeg {
+			t.maxDeg = int(now)
+		}
+	}
+	t.m += len(d.NewEdges)
+	// Degrees only grow, so the minimum degree advances monotonically:
+	// the scan below costs O(n) over the whole run, not per round.
+	n := len(t.deg)
+	for t.minDeg < n-1 && t.hist[t.minDeg] == 0 {
+		t.minDeg++
+	}
+	snap := Snapshot{
+		Round:     d.Round,
+		Edges:     t.m,
+		Missing:   d.EdgesRemaining,
+		MinDegree: t.minDeg,
+		MaxDegree: t.maxDeg,
+	}
+	if d.Round%t.every() == 0 || d.EdgesRemaining == 0 {
+		t.Snapshots = append(t.Snapshots, snap)
+		t.havePending = false
+		return
+	}
+	t.pendingSnap, t.pendingG, t.havePending = snap, nil, true
+}
+
+// init seeds the incremental state from the graph as of the *first emitted
+// delta* by rewinding that delta's increments, so G_0 need not be observed.
+func (t *Trajectory) init(g *graph.Undirected, d *sim.RoundDelta) {
+	n := g.N()
+	t.deg = make([]int32, n)
+	t.hist = make([]int32, n)
+	for u := 0; u < n; u++ {
+		t.deg[u] = int32(g.Degree(u)) - d.DegreeInc[u]
+	}
+	t.m = g.M() - len(d.NewEdges)
+	t.minDeg, t.maxDeg = 0, 0
+	if n > 0 {
+		t.minDeg = n
+		for _, dg := range t.deg {
+			t.hist[dg]++
+			if int(dg) < t.minDeg {
+				t.minDeg = int(dg)
+			}
+			if int(dg) > t.maxDeg {
+				t.maxDeg = int(dg)
+			}
+		}
+	}
+	t.inited = true
+}
+
+func (t *Trajectory) every() int {
+	if t.Every <= 0 {
+		return 1
+	}
+	return t.Every
+}
+
+// Finalize appends the last observed round if subsampling skipped it, so
+// the trajectory always ends at the final committed round. It is idempotent
+// and called automatically by the accessor methods; call it explicitly
+// before reading Snapshots directly. In snapshot mode the pending round is
+// summarized from the run's live graph at this point, so Finalize (or the
+// first accessor) must run before the graph is mutated again — e.g. before
+// reusing it for another run. Delta mode materializes pending snapshots
+// eagerly and has no such constraint.
+func (t *Trajectory) Finalize() {
+	if !t.havePending {
+		return
+	}
+	t.havePending = false
+	if t.pendingG != nil {
+		t.Snapshots = append(t.Snapshots, Take(t.pendingRound, t.pendingG))
+		t.pendingG = nil
+		return
+	}
+	t.Snapshots = append(t.Snapshots, t.pendingSnap)
+}
+
+// DegreeHistogram returns the current degree histogram maintained in delta
+// mode, shaped like graph.Undirected.DegreeHistogram (length MaxDegree+1).
+// It returns nil before the first delta or in snapshot mode.
+func (t *Trajectory) DegreeHistogram() []int {
+	if !t.inited {
+		return nil
+	}
+	out := make([]int, t.maxDeg+1)
+	for d := range out {
+		out[d] = int(t.hist[d])
+	}
+	return out
 }
 
 // MinDegrees returns the minimum-degree series of the trajectory.
 func (t *Trajectory) MinDegrees() []int {
+	t.Finalize()
 	out := make([]int, len(t.Snapshots))
 	for i, s := range t.Snapshots {
 		out[i] = s.MinDegree
@@ -59,6 +206,7 @@ func (t *Trajectory) MinDegrees() []int {
 // RoundsToMinDegree returns the first recorded round at which the minimum
 // degree reached at least target, or -1 if it never did.
 func (t *Trajectory) RoundsToMinDegree(target int) int {
+	t.Finalize()
 	for _, s := range t.Snapshots {
 		if s.MinDegree >= target {
 			return s.Round
@@ -133,19 +281,59 @@ type DirectedSnapshot struct {
 }
 
 // DirectedTrajectory records directed snapshots; Observe plugs into
-// sim.DirectedConfig.Observer.
+// sim.DirectedConfig.Observer and ObserveDelta into
+// sim.DirectedConfig.DeltaObserver (use one mode per trajectory). As with
+// Trajectory, the final committed round is always recorded regardless of
+// Every — call Finalize before reading Snapshots directly.
 type DirectedTrajectory struct {
 	Every     int
 	Snapshots []DirectedSnapshot
+
+	pendingSnap DirectedSnapshot
+	havePending bool
+
+	// Incremental arc count (delta mode only).
+	inited bool
+	arcs   int
 }
 
 // Observe implements the directed sim observer signature.
 func (t *DirectedTrajectory) Observe(round int, g *graph.Directed) {
+	t.record(DirectedSnapshot{Round: round, Arcs: g.M()}, false)
+}
+
+// ObserveDelta implements the directed sim delta observer signature. After
+// initializing from the first delta (rewinding that round's arcs), the arc
+// count is tracked from the delta stream alone; recording terminates
+// exactly at closure because the delta carries the engine's own
+// closure-arcs-remaining counter.
+func (t *DirectedTrajectory) ObserveDelta(g *graph.Directed, d *sim.DirectedRoundDelta) {
+	if !t.inited {
+		t.arcs = g.M() - len(d.NewArcs)
+		t.inited = true
+	}
+	t.arcs += len(d.NewArcs)
+	t.record(DirectedSnapshot{Round: d.Round, Arcs: t.arcs}, d.ClosureArcsRemaining == 0)
+}
+
+func (t *DirectedTrajectory) record(s DirectedSnapshot, terminal bool) {
 	every := t.Every
 	if every <= 0 {
 		every = 1
 	}
-	if round%every == 0 {
-		t.Snapshots = append(t.Snapshots, DirectedSnapshot{Round: round, Arcs: g.M()})
+	if s.Round%every == 0 || terminal {
+		t.Snapshots = append(t.Snapshots, s)
+		t.havePending = false
+		return
+	}
+	t.pendingSnap, t.havePending = s, true
+}
+
+// Finalize appends the last observed round if subsampling skipped it. It is
+// idempotent.
+func (t *DirectedTrajectory) Finalize() {
+	if t.havePending {
+		t.havePending = false
+		t.Snapshots = append(t.Snapshots, t.pendingSnap)
 	}
 }

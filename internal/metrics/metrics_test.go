@@ -5,6 +5,7 @@ import (
 
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
 )
@@ -144,6 +145,134 @@ func TestDirectedTrajectory(t *testing.T) {
 	for i := 1; i < len(traj.Snapshots); i++ {
 		if traj.Snapshots[i].Arcs < traj.Snapshots[i-1].Arcs {
 			t.Fatal("arc count decreased")
+		}
+	}
+}
+
+// TestTrajectoryDeltaMatchesSnapshotMode: for every engine family, a
+// delta-mode trajectory must record exactly the snapshots the legacy
+// full-scan Observe records — same rounds, edges, missing counts, and
+// min/max degrees.
+func TestTrajectoryDeltaMatchesSnapshotMode(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		for _, every := range []int{1, 5} {
+			snapTraj := &Trajectory{Every: every}
+			deltaTraj := &Trajectory{Every: every}
+			res := sim.Run(gen.RandomTree(90, rng.New(4)), core.Push{}, rng.New(6), sim.Config{
+				Workers:       workers,
+				Observer:      snapTraj.Observe,
+				DeltaObserver: deltaTraj.ObserveDelta,
+			})
+			if !res.Converged {
+				t.Fatalf("Workers=%d did not converge", workers)
+			}
+			snapTraj.Finalize()
+			deltaTraj.Finalize()
+			if len(snapTraj.Snapshots) != len(deltaTraj.Snapshots) {
+				t.Fatalf("Workers=%d Every=%d: %d snapshot-mode records vs %d delta-mode",
+					workers, every, len(snapTraj.Snapshots), len(deltaTraj.Snapshots))
+			}
+			for i := range snapTraj.Snapshots {
+				if snapTraj.Snapshots[i] != deltaTraj.Snapshots[i] {
+					t.Fatalf("Workers=%d Every=%d record %d: snapshot %+v vs delta %+v",
+						workers, every, i, snapTraj.Snapshots[i], deltaTraj.Snapshots[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTrajectoryDeltaDegreeHistogram: the incrementally maintained degree
+// histogram matches a fresh full-graph computation at the end of a run.
+func TestTrajectoryDeltaDegreeHistogram(t *testing.T) {
+	g := gen.Path(40)
+	traj := &Trajectory{}
+	res := sim.Run(g, core.Pull{}, rng.New(11), sim.Config{
+		MaxRounds:     25,
+		DeltaObserver: traj.ObserveDelta,
+	})
+	if res.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	want := g.DegreeHistogram()
+	got := traj.DegreeHistogram()
+	if len(got) != len(want) {
+		t.Fatalf("hist length %d want %d", len(got), len(want))
+	}
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("hist[%d] = %d want %d (full %v vs %v)", d, got[d], want[d], got, want)
+		}
+	}
+}
+
+// TestTrajectorySubsamplingRecordsFinalRound is the regression test for the
+// Every > 1 bug: with a custom Done predicate the final committed round is
+// not a multiple of Every and the graph never completes, so the old Observe
+// dropped it. Both observation modes must now always record it.
+func TestTrajectorySubsamplingRecordsFinalRound(t *testing.T) {
+	for name, attach := range map[string]func(*Trajectory, *sim.Config){
+		"snapshot": func(tr *Trajectory, c *sim.Config) { c.Observer = tr.Observe },
+		"delta":    func(tr *Trajectory, c *sim.Config) { c.DeltaObserver = tr.ObserveDelta },
+	} {
+		traj := &Trajectory{Every: 7}
+		cfg := sim.Config{
+			Done: func(g *graph.Undirected) bool { return g.MinDegree() >= 4 },
+		}
+		attach(traj, &cfg)
+		g := gen.Path(32)
+		res := sim.Run(g, core.Push{}, rng.New(9), cfg)
+		if !res.Converged {
+			t.Fatalf("%s: did not converge", name)
+		}
+		traj.Finalize()
+		if len(traj.Snapshots) == 0 {
+			t.Fatalf("%s: no snapshots", name)
+		}
+		last := traj.Snapshots[len(traj.Snapshots)-1]
+		if last.Round != res.Rounds {
+			t.Fatalf("%s: final snapshot round %d, want final committed round %d (Every=7)",
+				name, last.Round, res.Rounds)
+		}
+		if last.MinDegree < 4 {
+			t.Fatalf("%s: final snapshot min degree %d", name, last.MinDegree)
+		}
+		// Finalize must be idempotent and not duplicate the final round.
+		traj.Finalize()
+		if n := len(traj.Snapshots); n >= 2 && traj.Snapshots[n-2].Round == last.Round {
+			t.Fatalf("%s: final round recorded twice", name)
+		}
+	}
+}
+
+// TestDirectedTrajectoryDeltaAndFinalize: the directed trajectory's delta
+// mode matches snapshot mode and always captures the terminal round.
+func TestDirectedTrajectoryDeltaAndFinalize(t *testing.T) {
+	snapTraj := &DirectedTrajectory{Every: 3}
+	deltaTraj := &DirectedTrajectory{Every: 3}
+	g := gen.DirectedCycle(14)
+	res := sim.RunDirected(g, core.DirectedTwoHop{}, rng.New(2), sim.DirectedConfig{
+		Observer:      snapTraj.Observe,
+		DeltaObserver: deltaTraj.ObserveDelta,
+	})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	snapTraj.Finalize()
+	deltaTraj.Finalize()
+	if len(deltaTraj.Snapshots) == 0 {
+		t.Fatal("no delta snapshots")
+	}
+	last := deltaTraj.Snapshots[len(deltaTraj.Snapshots)-1]
+	if last.Round != res.Rounds || last.Arcs != g.M() {
+		t.Fatalf("terminal snapshot %+v, want round %d arcs %d", last, res.Rounds, g.M())
+	}
+	if len(snapTraj.Snapshots) != len(deltaTraj.Snapshots) {
+		t.Fatalf("%d snapshot-mode records vs %d delta-mode", len(snapTraj.Snapshots), len(deltaTraj.Snapshots))
+	}
+	for i := range snapTraj.Snapshots {
+		if snapTraj.Snapshots[i] != deltaTraj.Snapshots[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, snapTraj.Snapshots[i], deltaTraj.Snapshots[i])
 		}
 	}
 }

@@ -34,6 +34,12 @@ type AsyncConfig struct {
 	MaxTicks int
 	// Done overrides the convergence predicate (default: complete graph).
 	Done func(g *graph.Undirected) bool
+	// DeltaObserver, if non-nil, receives a streaming delta after every
+	// completed parallel round (n ticks) — the asynchronous analogue of
+	// Config.DeltaObserver, with RoundDelta.Round counting parallel rounds.
+	// A final partial round, if any, is emitted before RunAsync returns.
+	// The delta and its slices are reused; copy anything retained.
+	DeltaObserver func(g *graph.Undirected, d *RoundDelta)
 }
 
 // RunAsync executes p under the uniform single-activation scheduler until
@@ -57,23 +63,40 @@ func RunAsync(g *graph.Undirected, p core.Process, r *rng.Rand, cfg AsyncConfig)
 	if n == 0 {
 		return res
 	}
+	var ds *deltaState
+	var accepted []graph.Edge
+	if cfg.DeltaObserver != nil {
+		ds = newDeltaState(n, cfg.DeltaObserver)
+	}
 	// The propose closure is hoisted out of the tick loop so steady-state
 	// ticks allocate nothing.
 	propose := func(a, b int) {
 		res.Proposals++
 		if g.AddEdge(a, b) {
 			res.NewEdges++
+			if ds != nil {
+				accepted = append(accepted, graph.Edge{U: a, V: b}.Norm())
+			}
 		}
 	}
+	rounds := 0
 	for tick := 1; tick <= maxTicks; tick++ {
 		u := r.Intn(n)
 		p.Act(g, u, r, propose)
 		res.Ticks = tick
+		if ds != nil && tick%n == 0 {
+			rounds++
+			ds.emit(rounds, g, accepted)
+			accepted = accepted[:0]
+		}
 		// Checking completeness is O(1) (edge counter), so test per tick.
 		if done(g) {
 			res.Converged = true
 			break
 		}
+	}
+	if ds != nil && (len(accepted) > 0 || res.Ticks%n != 0) {
+		ds.emit(rounds+1, g, accepted)
 	}
 	res.ParallelRounds = float64(res.Ticks) / float64(n)
 	return res

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"gossipdisc/internal/graph"
+)
+
+// This file implements the streaming delta observer pipeline. The commit
+// path already knows exactly which proposals survived a round — the grouped
+// graph commits return the accepted list — so instead of forcing observers
+// to re-scan the graph (O(n + m) per round), the engines can emit the
+// round's *changes* directly: the new edges, the per-node degree increments
+// they imply, and the O(1) edges-remaining counter. Incremental consumers
+// (metrics.Trajectory and friends) rebuild any snapshot quantity from this
+// stream without ever touching the graph.
+//
+// Determinism: a delta stream is a pure function of (graph, process, root
+// generator, engine family). Under the sharded engine the accepted list is
+// produced by committing the concatenated shard buffers in shard order
+// through one grouped commit, so the stream is bit-identical for every
+// Workers >= 1 and any GOMAXPROCS — the same contract the Result obeys. The
+// Workers == 0 engine consumes a different generator stream, so its deltas
+// describe a different (but equally deterministic) trajectory.
+
+// RoundDelta describes everything that changed in one committed synchronous
+// round of an undirected run. The engine reuses the delta and its slices
+// across rounds: observers must copy anything they retain.
+type RoundDelta struct {
+	// Round is the 1-based round number, matching Observer's argument.
+	Round int
+	// NewEdges lists the edges inserted this round, normalized U < V, in
+	// deterministic commit order.
+	NewEdges []graph.Edge
+	// Touched lists the nodes whose degree changed this round, in first-
+	// touch order of NewEdges.
+	Touched []int32
+	// DegreeInc is indexed by node: DegreeInc[u] is u's degree increment
+	// this round (nonzero exactly for the nodes in Touched).
+	DegreeInc []int32
+	// EdgesRemaining is the number of node pairs still missing after the
+	// commit — 0 exactly when the graph is complete.
+	EdgesRemaining int
+}
+
+// DirectedRoundDelta is the directed counterpart of RoundDelta. As there,
+// the engine reuses the delta and its slices across rounds.
+type DirectedRoundDelta struct {
+	// Round is the 1-based round number.
+	Round int
+	// NewArcs lists the arcs inserted this round, in deterministic commit
+	// order.
+	NewArcs []graph.Arc
+	// OutTouched / OutDegreeInc describe out-degree increments, exactly as
+	// RoundDelta.Touched / DegreeInc describe undirected degrees.
+	OutTouched   []int32
+	OutDegreeInc []int32
+	// InTouched / InDegreeInc describe in-degree increments.
+	InTouched   []int32
+	InDegreeInc []int32
+	// ClosureArcsRemaining is the number of arcs of the initial graph's
+	// transitive closure still missing after the commit — 0 exactly at
+	// termination. It is the engine's own O(1) progress counter.
+	ClosureArcsRemaining int
+}
+
+// deltaState owns an undirected run's reusable RoundDelta. It is allocated
+// only when Config.DeltaObserver is set.
+type deltaState struct {
+	d        RoundDelta
+	observer func(g *graph.Undirected, d *RoundDelta)
+}
+
+func newDeltaState(n int, observer func(g *graph.Undirected, d *RoundDelta)) *deltaState {
+	return &deltaState{
+		d:        RoundDelta{DegreeInc: make([]int32, n)},
+		observer: observer,
+	}
+}
+
+// emit fills the delta from the round's accepted edges and invokes the
+// observer. Steady-state emits allocate nothing once the slices are warm.
+func (ds *deltaState) emit(round int, g *graph.Undirected, accepted []graph.Edge) {
+	d := &ds.d
+	for _, u := range d.Touched {
+		d.DegreeInc[u] = 0
+	}
+	d.Touched = d.Touched[:0]
+	d.NewEdges = append(d.NewEdges[:0], accepted...)
+	for _, e := range accepted {
+		if d.DegreeInc[e.U] == 0 {
+			d.Touched = append(d.Touched, int32(e.U))
+		}
+		d.DegreeInc[e.U]++
+		if d.DegreeInc[e.V] == 0 {
+			d.Touched = append(d.Touched, int32(e.V))
+		}
+		d.DegreeInc[e.V]++
+	}
+	d.Round = round
+	d.EdgesRemaining = g.MissingEdges()
+	ds.observer(g, d)
+}
+
+// directedDeltaState owns a directed run's reusable DirectedRoundDelta.
+type directedDeltaState struct {
+	d        DirectedRoundDelta
+	observer func(g *graph.Directed, d *DirectedRoundDelta)
+}
+
+func newDirectedDeltaState(n int, observer func(g *graph.Directed, d *DirectedRoundDelta)) *directedDeltaState {
+	return &directedDeltaState{
+		d: DirectedRoundDelta{
+			OutDegreeInc: make([]int32, n),
+			InDegreeInc:  make([]int32, n),
+		},
+		observer: observer,
+	}
+}
+
+// emit fills the delta from the round's accepted arcs and the engine's
+// missing-closure counter, then invokes the observer.
+func (ds *directedDeltaState) emit(round int, g *graph.Directed, accepted []graph.Arc, closureRemaining int) {
+	d := &ds.d
+	for _, u := range d.OutTouched {
+		d.OutDegreeInc[u] = 0
+	}
+	for _, v := range d.InTouched {
+		d.InDegreeInc[v] = 0
+	}
+	d.OutTouched = d.OutTouched[:0]
+	d.InTouched = d.InTouched[:0]
+	d.NewArcs = append(d.NewArcs[:0], accepted...)
+	for _, a := range accepted {
+		if d.OutDegreeInc[a.U] == 0 {
+			d.OutTouched = append(d.OutTouched, int32(a.U))
+		}
+		d.OutDegreeInc[a.U]++
+		if d.InDegreeInc[a.V] == 0 {
+			d.InTouched = append(d.InTouched, int32(a.V))
+		}
+		d.InDegreeInc[a.V]++
+	}
+	d.Round = round
+	d.ClosureArcsRemaining = closureRemaining
+	ds.observer(g, d)
+}

@@ -20,7 +20,8 @@ import (
 // construction. During the act phase of a round the graph is read-only and
 // each shard appends proposals to its private buffer; after all shards have
 // acted, the buffers are committed in shard order through the batched
-// graph.Undirected.AddEdges / graph.Directed.AddArcs paths. Every quantity a
+// graph.Undirected.AddEdgesGrouped / graph.Directed.AddArcsGrouped paths,
+// whose accepted lists double as the round's delta stream. Every quantity a
 // run reports is therefore a pure function of (graph, process, root
 // generator) and is bit-identical for every Workers >= 1.
 //
@@ -68,7 +69,11 @@ type engine struct {
 	next  atomic.Int64
 	wg    sync.WaitGroup
 
-	accepted []graph.Arc // commit-phase scratch for directed runs
+	// Commit-phase scratch, reused across rounds: the shard buffers are
+	// committed in shard order through the grouped graph calls, which
+	// accumulate the round's accepted edges here — the delta stream.
+	acceptedEdges []graph.Edge
+	accepted      []graph.Arc
 }
 
 // newEngine partitions [0, n) into shards, derives the per-shard streams by
@@ -154,9 +159,13 @@ func (e *engine) actRound(act func(s *shard)) {
 
 // runUndirected drives g under p to the done predicate with synchronous
 // commits. Caller has already handled the done-at-entry case and defaults.
-func (e *engine) runUndirected(g *graph.Undirected, p core.Process, done func(*graph.Undirected) bool,
-	observer func(int, *graph.Undirected), maxRounds int) Result {
+func (e *engine) runUndirected(g *graph.Undirected, p core.Process, cfg Config,
+	done func(*graph.Undirected) bool, maxRounds int) Result {
 
+	var ds *deltaState
+	if cfg.DeltaObserver != nil {
+		ds = newDeltaState(g.N(), cfg.DeltaObserver)
+	}
 	act := func(s *shard) {
 		for u := s.lo; u < s.hi; u++ {
 			p.Act(g, u, s.r, s.proposeEdge)
@@ -165,17 +174,28 @@ func (e *engine) runUndirected(g *graph.Undirected, p core.Process, done func(*g
 	var res Result
 	for round := 1; round <= maxRounds; round++ {
 		e.actRound(act)
+		// Committing the shard buffers in shard order through the grouped
+		// calls is state-identical to committing each buffer edge by edge
+		// (dedup state lives in the graph matrix), applies fused word-level
+		// ORs, and accumulates the round's accepted-edge delta for free.
+		roundProposals := 0
+		acc := e.acceptedEdges[:0]
 		for i := range e.shards {
 			s := &e.shards[i]
-			res.Proposals += len(s.edges)
-			added := g.AddEdges(s.edges)
-			res.NewEdges += added
-			res.DuplicateProposals += len(s.edges) - added
+			roundProposals += len(s.edges)
+			acc = g.AddEdgesGrouped(s.edges, acc)
 			s.edges = s.edges[:0]
 		}
+		e.acceptedEdges = acc
+		res.Proposals += roundProposals
+		res.NewEdges += len(acc)
+		res.DuplicateProposals += roundProposals - len(acc)
 		res.Rounds = round
-		if observer != nil {
-			observer(round, g)
+		if ds != nil {
+			ds.emit(round, g, e.acceptedEdges)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(round, g)
 		}
 		if done(g) {
 			res.Converged = true
@@ -188,10 +208,13 @@ func (e *engine) runUndirected(g *graph.Undirected, p core.Process, done func(*g
 // runDirected drives g under p until no closure arc is missing. target and
 // missing describe the transitive closure of the initial graph (computed by
 // RunDirected); res arrives with TargetArcs already filled in.
-func (e *engine) runDirected(g *graph.Directed, p core.DirectedProcess,
-	observer func(int, *graph.Directed), maxRounds int,
-	target []*bitset.Set, missing int, res DirectedResult) DirectedResult {
+func (e *engine) runDirected(g *graph.Directed, p core.DirectedProcess, cfg DirectedConfig,
+	maxRounds int, target []*bitset.Set, missing int, res DirectedResult) DirectedResult {
 
+	var ds *directedDeltaState
+	if cfg.DeltaObserver != nil {
+		ds = newDirectedDeltaState(g.N(), cfg.DeltaObserver)
+	}
 	act := func(s *shard) {
 		for u := s.lo; u < s.hi; u++ {
 			p.Act(g, u, s.r, s.proposeArc)
@@ -199,22 +222,29 @@ func (e *engine) runDirected(g *graph.Directed, p core.DirectedProcess,
 	}
 	for round := 1; round <= maxRounds; round++ {
 		e.actRound(act)
+		roundProposals := 0
+		acc := e.accepted[:0]
 		for i := range e.shards {
 			s := &e.shards[i]
-			res.Proposals += len(s.arcs)
-			e.accepted = g.AddArcs(s.arcs, e.accepted[:0])
-			res.NewArcs += len(e.accepted)
-			res.DuplicateProposals += len(s.arcs) - len(e.accepted)
-			for _, a := range e.accepted {
-				if target[a.U].Test(a.V) {
-					missing--
-				}
-			}
+			roundProposals += len(s.arcs)
+			acc = g.AddArcsGrouped(s.arcs, acc)
 			s.arcs = s.arcs[:0]
 		}
+		e.accepted = acc
+		res.Proposals += roundProposals
+		res.NewArcs += len(acc)
+		res.DuplicateProposals += roundProposals - len(acc)
+		for _, a := range acc {
+			if target[a.U].Test(a.V) {
+				missing--
+			}
+		}
 		res.Rounds = round
-		if observer != nil {
-			observer(round, g)
+		if ds != nil {
+			ds.emit(round, g, e.accepted, missing)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(round, g)
 		}
 		if missing == 0 {
 			res.Converged = true

@@ -32,6 +32,24 @@
 // of the per-node loop, and proposal buffers are reused across rounds, so a
 // steady-state round performs zero allocations.
 //
+// # The delta observer pipeline
+//
+// Synchronous commits go through the grouped graph commit paths
+// (graph.Undirected.AddEdgesGrouped / graph.Directed.AddArcsGrouped), which
+// apply each proposal to its graph row with a fused word-level OR (one
+// test-and-set per row word) and return the newly inserted edges. That
+// accepted list is
+// the round's *delta*, and Config.DeltaObserver / DirectedConfig.
+// DeltaObserver (and AsyncConfig.DeltaObserver, per parallel round) stream
+// it to consumers as a RoundDelta / DirectedRoundDelta: new edges, per-node
+// degree increments, and the O(1) progress counter (edges remaining, or
+// closure arcs remaining). Incremental consumers such as
+// metrics.Trajectory.ObserveDelta rebuild every snapshot quantity from the
+// stream, so trajectory recording costs O(new edges) per round instead of a
+// full O(n + m) graph inspection. Deltas are emitted before Observer runs
+// and obey the same determinism contract as Result: bit-identical for every
+// Workers >= 1. See delta.go.
+//
 // CommitEager is inherently sequential — its semantics *are* the node
 // order — so eager runs always use the sequential engine and ignore
 // Workers. Processes must not mutate shared state in Act when Workers > 1
@@ -90,6 +108,13 @@ type Config struct {
 	// 1-based round number. Observe round 0 by inspecting the graph before
 	// Run.
 	Observer func(round int, g *graph.Undirected)
+	// DeltaObserver, if non-nil, receives the round's streaming delta (new
+	// edges, degree increments, edges remaining) after every committed
+	// round, before Observer runs. The delta and its slices are reused
+	// across rounds — copy anything retained. See delta.go for the
+	// determinism contract; incremental consumers such as
+	// metrics.Trajectory.ObserveDelta plug in directly.
+	DeltaObserver func(g *graph.Undirected, d *RoundDelta)
 }
 
 // Result reports a single run.
@@ -141,7 +166,7 @@ func Run(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) Result {
 	if cfg.Mode == CommitSynchronous && cfg.Workers >= 1 {
 		e := newEngine(g.N(), cfg.Workers, r)
 		defer e.stop()
-		return e.runUndirected(g, p, done, cfg.Observer, maxRounds)
+		return e.runUndirected(g, p, cfg, done, maxRounds)
 	}
 	return runSequential(g, p, r, cfg, done, maxRounds)
 }
@@ -154,7 +179,11 @@ func runSequential(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config,
 
 	var res Result
 	n := g.N()
-	var buf []graph.Edge // reused across rounds in synchronous mode
+	var ds *deltaState
+	if cfg.DeltaObserver != nil {
+		ds = newDeltaState(n, cfg.DeltaObserver)
+	}
+	var buf, accepted []graph.Edge // reused across rounds
 	var propose func(a, b int)
 	switch cfg.Mode {
 	case CommitSynchronous:
@@ -167,6 +196,9 @@ func runSequential(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config,
 			res.Proposals++
 			if g.AddEdge(a, b) {
 				res.NewEdges++
+				if ds != nil {
+					accepted = append(accepted, graph.Edge{U: a, V: b}.Norm())
+				}
 			} else {
 				res.DuplicateProposals++
 			}
@@ -176,18 +208,19 @@ func runSequential(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config,
 	}
 
 	for round := 1; round <= maxRounds; round++ {
-		if cfg.Mode == CommitSynchronous {
-			buf = buf[:0]
-		}
+		buf, accepted = buf[:0], accepted[:0]
 		for u := 0; u < n; u++ {
 			p.Act(g, u, r, propose)
 		}
 		if cfg.Mode == CommitSynchronous {
-			added := g.AddEdges(buf)
-			res.NewEdges += added
-			res.DuplicateProposals += len(buf) - added
+			accepted = g.AddEdgesGrouped(buf, accepted)
+			res.NewEdges += len(accepted)
+			res.DuplicateProposals += len(buf) - len(accepted)
 		}
 		res.Rounds = round
+		if ds != nil {
+			ds.emit(round, g, accepted)
+		}
 		if cfg.Observer != nil {
 			cfg.Observer(round, g)
 		}
@@ -210,6 +243,11 @@ type DirectedConfig struct {
 	Workers int
 	// Observer, if non-nil, is called after every committed round.
 	Observer func(round int, g *graph.Directed)
+	// DeltaObserver, if non-nil, receives the round's streaming delta (new
+	// arcs, in/out-degree increments, closure arcs remaining) after every
+	// committed round, before Observer runs. The delta and its slices are
+	// reused across rounds — copy anything retained.
+	DeltaObserver func(g *graph.Directed, d *DirectedRoundDelta)
 }
 
 // DirectedResult reports a directed run.
@@ -265,10 +303,14 @@ func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg Dir
 	if cfg.Mode == CommitSynchronous && cfg.Workers >= 1 {
 		e := newEngine(g.N(), cfg.Workers, r)
 		defer e.stop()
-		return e.runDirected(g, p, cfg.Observer, maxRounds, target, missing, res)
+		return e.runDirected(g, p, cfg, maxRounds, target, missing, res)
 	}
 
 	n := g.N()
+	var ds *directedDeltaState
+	if cfg.DeltaObserver != nil {
+		ds = newDirectedDeltaState(n, cfg.DeltaObserver)
+	}
 	var buf, accepted []graph.Arc
 	var propose func(a, b int)
 	commit := func(a, b int) {
@@ -276,6 +318,9 @@ func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg Dir
 			res.NewArcs++
 			if target[a].Test(b) {
 				missing--
+			}
+			if ds != nil {
+				accepted = append(accepted, graph.Arc{U: a, V: b})
 			}
 		} else {
 			res.DuplicateProposals++
@@ -296,14 +341,12 @@ func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg Dir
 		panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
 	}
 	for round := 1; round <= maxRounds; round++ {
-		if cfg.Mode == CommitSynchronous {
-			buf = buf[:0]
-		}
+		buf, accepted = buf[:0], accepted[:0]
 		for u := 0; u < n; u++ {
 			p.Act(g, u, r, propose)
 		}
 		if cfg.Mode == CommitSynchronous {
-			accepted = g.AddArcs(buf, accepted[:0])
+			accepted = g.AddArcsGrouped(buf, accepted)
 			res.NewArcs += len(accepted)
 			res.DuplicateProposals += len(buf) - len(accepted)
 			for _, a := range accepted {
@@ -313,6 +356,9 @@ func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg Dir
 			}
 		}
 		res.Rounds = round
+		if ds != nil {
+			ds.emit(round, g, accepted, missing)
+		}
 		if cfg.Observer != nil {
 			cfg.Observer(round, g)
 		}

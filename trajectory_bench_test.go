@@ -1,0 +1,115 @@
+package gossipdisc_test
+
+// Trajectory-recording benchmarks for the streaming delta pipeline
+// (BENCH_pr2.json). Each iteration runs one full push convergence on the
+// n=1024 cycle — the E9/E17 recording shape — under three observer
+// configurations:
+//
+//   - none: the engine alone, no observation (lower bound).
+//   - snapshot: the legacy path. metrics.Trajectory.Observe scans the graph
+//     every round (min/max degree), and the per-round edge delta — what
+//     dissemination-rate consumers such as E17's evolution tracker need —
+//     must be re-derived from full-graph state: a degree re-scan plus an
+//     Edges() materialization whenever the edge set grew, O(n + m) per
+//     round on the commit goroutine.
+//   - delta: the streaming path. The commit emits the per-round delta it
+//     already knows (new edges, degree increments, edges remaining), and
+//     metrics.Trajectory.ObserveDelta maintains the same trajectory
+//     incrementally in O(new edges) per round, allocation-flat.
+//
+// CI runs these with -benchtime=1x as a smoke test alongside the scale
+// suite (the BenchmarkScale prefix is shared on purpose).
+
+import (
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/metrics"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+func benchScaleTrajectory(b *testing.B, n, workers int) {
+	check := func(b *testing.B, res sim.Result, traj *metrics.Trajectory) {
+		b.Helper()
+		if !res.Converged {
+			b.Fatal("run did not converge")
+		}
+		if traj != nil {
+			traj.Finalize()
+			if len(traj.GrowthEpochs(2, n)) == 0 {
+				b.Fatal("trajectory did not cover the growth epochs")
+			}
+		}
+	}
+
+	b.Run("none", func(b *testing.B) {
+		r := rng.New(uint64(n))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := gen.Cycle(n)
+			res := sim.Run(g, core.Push{}, r.Split(), sim.Config{Workers: workers})
+			check(b, res, nil)
+		}
+	})
+
+	b.Run("snapshot", func(b *testing.B) {
+		r := rng.New(uint64(n))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := gen.Cycle(n)
+			traj := &metrics.Trajectory{}
+			prevDeg := make([]int, n)
+			newEdges := 0
+			res := sim.Run(g, core.Push{}, r.Split(), sim.Config{
+				Workers: workers,
+				Observer: func(round int, g *graph.Undirected) {
+					traj.Observe(round, g)
+					// Recover this round's delta from snapshots alone:
+					// degree increments by re-scanning all degrees, new
+					// edges by materializing the edge set when it grew.
+					grew := false
+					for u := 0; u < n; u++ {
+						d := g.Degree(u)
+						if d != prevDeg[u] {
+							grew = true
+							prevDeg[u] = d
+						}
+					}
+					if grew {
+						newEdges = len(g.Edges())
+					}
+				},
+			})
+			check(b, res, traj)
+			if newEdges != n*(n-1)/2 {
+				b.Fatal("snapshot delta recovery failed")
+			}
+		}
+	})
+
+	b.Run("delta", func(b *testing.B) {
+		r := rng.New(uint64(n))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := gen.Cycle(n)
+			traj := &metrics.Trajectory{}
+			newEdges := 0
+			res := sim.Run(g, core.Push{}, r.Split(), sim.Config{
+				Workers: workers,
+				DeltaObserver: func(g *graph.Undirected, d *sim.RoundDelta) {
+					traj.ObserveDelta(g, d)
+					newEdges += len(d.NewEdges)
+				},
+			})
+			check(b, res, traj)
+			if newEdges != res.NewEdges {
+				b.Fatal("delta stream incomplete")
+			}
+		}
+	})
+}
+
+func BenchmarkScaleTrajectory1024(b *testing.B) { benchScaleTrajectory(b, 1024, 0) }
