@@ -8,6 +8,7 @@
 //	gossipsim -process pull -family randtree -n 128 -trials 20
 //	gossipsim -process directed -dfamily thm15 -n 64
 //	gossipsim -process push -family path -n 64 -trace 50
+//	gossipsim -process push -family cycle -n 512 -rounds 200 -trace 20
 package main
 
 import (
@@ -28,17 +29,18 @@ import (
 
 func main() {
 	var (
-		process  = flag.String("process", "push", "process: push | pull | push-pull | directed")
-		family   = flag.String("family", "cycle", "undirected workload family (see -list)")
-		dfamily  = flag.String("dfamily", "strong-random", "directed workload family (see -list)")
-		n        = flag.Int("n", 64, "number of nodes")
-		trials   = flag.Int("trials", 1, "independent trials")
-		seed     = flag.Uint64("seed", 1, "root seed")
-		mode     = flag.String("mode", "sync", "scheduler: sync | eager | async")
-		workers  = flag.Int("workers", 0, "round-engine workers: 0 = classic sequential engine, >=1 = sharded deterministic engine, -1 = GOMAXPROCS")
-		traceAt  = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off)")
-		failProb = flag.Float64("fail", 0, "connection failure probability (0..1)")
-		list     = flag.Bool("list", false, "list workload families and exit")
+		process      = flag.String("process", "push", "process: push | pull | push-pull | directed")
+		family       = flag.String("family", "cycle", "undirected workload family (see -list)")
+		dfamily      = flag.String("dfamily", "strong-random", "directed workload family (see -list)")
+		n            = flag.Int("n", 64, "number of nodes")
+		trials       = flag.Int("trials", 1, "independent trials")
+		seed         = flag.Uint64("seed", 1, "root seed")
+		mode         = flag.String("mode", "sync", "scheduler: sync | eager | async")
+		workers      = flag.Int("workers", 0, "round-engine workers: 0 = classic sequential engine, >=1 = sharded deterministic engine, -1 = GOMAXPROCS")
+		roundsBudget = flag.Int("rounds", 0, "stop each trial after this many rounds even if not converged (0 = run to convergence)")
+		traceAt      = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off; trial 0 is driven step-wise through the session API)")
+		failProb     = flag.Float64("fail", 0, "connection failure probability (0..1)")
+		list         = flag.Bool("list", false, "list workload families and exit")
 	)
 	flag.Parse()
 
@@ -76,7 +78,7 @@ func main() {
 		if async {
 			fatalf("-mode async is only implemented for undirected processes")
 		}
-		runDirected(*dfamily, *n, *trials, *seed, commit, *workers)
+		runDirected(*dfamily, *n, *trials, *seed, commit, *workers, *roundsBudget)
 		return
 	}
 
@@ -109,13 +111,21 @@ func main() {
 		fmt.Sprintf("%s on %s, n=%d, mode=%s", proc.Name(), fam.Name, *n, modeName),
 		"trial", "rounds", "proposals", "new edges", "duplicates")
 	var rounds []float64
+	stopped := 0
 	for t := 0; t < *trials; t++ {
 		r := root.Split()
 		g := fam.Generate(*n, r)
 		if async {
-			res := sim.RunAsync(g, proc, r, sim.AsyncConfig{})
-			if !res.Converged {
+			acfg := sim.AsyncConfig{}
+			if *roundsBudget > 0 {
+				acfg.MaxTicks = *roundsBudget * *n
+			}
+			res := sim.RunAsync(g, proc, r, acfg)
+			if !res.Converged && *roundsBudget == 0 {
 				fatalf("trial %d did not converge within %d ticks", t, res.Ticks)
+			}
+			if !res.Converged {
+				stopped++
 			}
 			rounds = append(rounds, res.ParallelRounds)
 			tbl.AddRow(trace.I(t), trace.F(res.ParallelRounds, 1),
@@ -123,15 +133,29 @@ func main() {
 				trace.I(res.Proposals-res.NewEdges))
 			continue
 		}
-		cfg := sim.Config{Mode: commit, Workers: *workers}
+		cfg := sim.Config{Mode: commit, Workers: *workers, MaxRounds: *roundsBudget}
+		var res sim.Result
 		if *traceAt > 0 && t == 0 {
-			// Delta mode: the trajectory is fed from the commit path's
-			// streaming deltas, so tracing adds no per-round graph scans.
+			// Trial 0 is driven step-wise through the session API: the
+			// trajectory consumes the delta Step hands back, so tracing adds
+			// no per-round graph scans and no observer wiring.
+			sess := sim.NewSession(g, proc, r, cfg)
 			traj := &metrics.Trajectory{Every: *traceAt}
-			cfg.DeltaObserver = traj.ObserveDelta
+			for {
+				d, more := sess.Step()
+				if d == nil {
+					break
+				}
+				traj.ObserveDelta(sess.Graph(), d)
+				if !more {
+					break
+				}
+			}
+			sess.Close()
+			res = sess.Stats()
 			defer func(traj *metrics.Trajectory) {
 				traj.Finalize()
-				tt := trace.NewTable("min-degree trajectory (trial 0)",
+				tt := trace.NewTable("min-degree trajectory (trial 0, stepped)",
 					"round", "min deg", "max deg", "edges", "missing")
 				for _, s := range traj.Snapshots {
 					tt.AddRow(trace.I(s.Round), trace.I(s.MinDegree),
@@ -139,14 +163,21 @@ func main() {
 				}
 				tt.Render(os.Stdout)
 			}(traj)
+		} else {
+			res = sim.Run(g, proc, r, cfg)
 		}
-		res := sim.Run(g, proc, r, cfg)
-		if !res.Converged {
+		if !res.Converged && *roundsBudget == 0 {
 			fatalf("trial %d did not converge within %d rounds", t, res.Rounds)
+		}
+		if !res.Converged {
+			stopped++
 		}
 		rounds = append(rounds, float64(res.Rounds))
 		tbl.AddRow(trace.I(t), trace.I(res.Rounds), trace.I(res.Proposals),
 			trace.I(res.NewEdges), trace.I(res.DuplicateProposals))
+	}
+	if stopped > 0 {
+		fmt.Printf("note: %d/%d trials stopped at the -rounds budget before converging\n", stopped, *trials)
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		fatalf("%v", err)
@@ -157,7 +188,7 @@ func main() {
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 
-func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers int) {
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int) {
 	fam, err := gen.DirectedFamilyByName(family)
 	if err != nil {
 		fatalf("%v", err)
@@ -170,15 +201,23 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 		fmt.Sprintf("directed-two-hop on %s, n=%d, mode=%s", fam.Name, n, commit),
 		"trial", "rounds", "target arcs", "new arcs")
 	var rounds []float64
+	stopped := 0
 	for t := 0; t < trials; t++ {
 		r := root.Split()
 		var g *graph.Directed = fam.Generate(n, r)
-		res := sim.RunDirected(g, core.DirectedTwoHop{}, r, sim.DirectedConfig{Mode: commit, Workers: workers})
-		if !res.Converged {
+		res := sim.RunDirected(g, core.DirectedTwoHop{}, r,
+			sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget})
+		if !res.Converged && budget == 0 {
 			fatalf("trial %d did not converge", t)
+		}
+		if !res.Converged {
+			stopped++
 		}
 		rounds = append(rounds, float64(res.Rounds))
 		tbl.AddRow(trace.I(t), trace.I(res.Rounds), trace.I(res.TargetArcs), trace.I(res.NewArcs))
+	}
+	if stopped > 0 {
+		fmt.Printf("note: %d/%d trials stopped at the -rounds budget before reaching closure\n", stopped, trials)
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		fatalf("%v", err)

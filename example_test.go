@@ -105,6 +105,33 @@ func ExampleConfig_deltaObserver() {
 	// final min degree: 11
 }
 
+// ExampleNewSession steps a run round by round through the resumable
+// session API, reading O(1) progress between steps, and finishes it with
+// Run — bit-identical to the one-shot facade.
+func ExampleNewSession() {
+	g := gossipdisc.Path(12)
+	sess := gossipdisc.NewSession(g,
+		gossipdisc.WithProcess(gossipdisc.Push{}),
+		gossipdisc.WithSeed(3),
+	)
+	defer sess.Close()
+
+	delta, _ := sess.Step()
+	fmt.Println("round 1 new edges:", len(delta.NewEdges))
+
+	// Drive to a breakpoint, then to completion.
+	sess.RunUntil(func(g *gossipdisc.Graph) bool { return g.MissingEdges() <= 20 })
+	fmt.Println("breakpoint round:", sess.Round(), "edges remaining:", sess.EdgesRemaining())
+	res := sess.Run()
+
+	check := gossipdisc.Path(12)
+	fmt.Println("matches one-shot Run:", res == gossipdisc.Run(check, gossipdisc.Push{}, 3))
+	// Output:
+	// round 1 new edges: 4
+	// breakpoint round: 18 edges remaining: 19
+	// matches one-shot Run: true
+}
+
 // ExampleRunWithConfig stops a run at a custom condition: a minimum degree
 // target rather than completeness.
 func ExampleRunWithConfig() {

@@ -7,6 +7,12 @@
 // how close the swarm stays to "everyone knows everyone" — and how fast it
 // recovers after a churn spike.
 //
+// Everything here runs through the resumable session API: the churn
+// sessions are stepped (their coverage is maintained incrementally by the
+// engine — O(1) per read, no pair scans), and the final section drives a
+// raw engine session directly, crashing a third of the swarm mid-flight
+// with RemoveNode and watching the coverage recover step by step.
+//
 //	go run ./examples/churny-swarm
 package main
 
@@ -16,7 +22,11 @@ import (
 	"strings"
 
 	"gossipdisc/internal/churn"
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
 	"gossipdisc/internal/stats"
 	"gossipdisc/internal/trace"
 )
@@ -69,4 +79,63 @@ func main() {
 	fmt.Println(bar.String())
 	fmt.Printf("final coverage %.3f with %d members after %d churn-affected rounds\n",
 		series[rounds-1], s.Members(), rounds)
+
+	// A churn *spike*, driven through the raw engine session: let the swarm
+	// converge, then — between two steps — fail-stop a third of it and
+	// admit as many fresh joiners who know only three bootstrap contacts.
+	// Coverage is read after every step from the session's incremental
+	// counters (O(1), no pair scans), and the spike is applied with
+	// RemoveNode / InsertNode / AddEdge mid-flight — the between-step
+	// mutation the session API exists for.
+	const spike = 21
+	fmt.Printf("\nfail-stop spike: %d members converge, then %d crash and %d join at once\n",
+		members, spike, spike)
+	capacity := members + spike
+	alive := make([]bool, capacity)
+	for u := 0; u < members; u++ {
+		alive[u] = true
+	}
+	// The overlay lives in a capacity-sized slot pool; only the first
+	// `members` slots start wired (the joiner slots are admitted later).
+	g := graph.NewUndirected(capacity)
+	for _, e := range gen.ConnectedER(members, 3.0/float64(members), rng.New(99)).Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	sess := sim.NewSession(g, core.Crashed{Inner: core.Push{}, Alive: alive}, rng.New(100), sim.Config{
+		MaxRounds: -1, // open-ended: the spike run is stepped, never "done"
+	})
+	defer sess.Close()
+	sess.TrackMembership(alive)
+
+	covered := func(*graph.Undirected) bool { return sess.Coverage() == 1 }
+	sess.RunUntil(covered)
+	fmt.Printf("round %3d: coverage %.3f — swarm fully converged\n", sess.Round(), sess.Coverage())
+
+	spikeRng := rng.New(7)
+	for crashed := 0; crashed < spike; {
+		u := spikeRng.Intn(members)
+		if alive[u] {
+			sess.RemoveNode(u)
+			crashed++
+		}
+	}
+	var survivors []int
+	for u := 0; u < members; u++ {
+		if alive[u] {
+			survivors = append(survivors, u)
+		}
+	}
+	for j := 0; j < spike; j++ {
+		joiner := members + j
+		sess.InsertNode(joiner)
+		for k := 0; k < 3; k++ {
+			sess.AddEdge(joiner, survivors[spikeRng.Intn(len(survivors))])
+		}
+	}
+	fmt.Printf("round %3d: coverage %.3f — spike applied between steps\n", sess.Round(), sess.Coverage())
+
+	spikeStart := sess.Round()
+	sess.RunUntil(covered)
+	fmt.Printf("round %3d: coverage %.3f — swarm re-converged %d rounds after the spike\n",
+		sess.Round(), sess.Coverage(), sess.Round()-spikeStart)
 }

@@ -21,15 +21,34 @@
 // for an explicit strongly connected instance (Theorem 15).
 //
 // This root package is the stable public surface: it re-exports the graph
-// substrate, the processes, the round engine, the exact Markov-chain solver
-// for small graphs, and the registered paper experiments. The heavy lifting
-// lives in internal packages (see DESIGN.md for the system inventory).
+// substrate, the processes, the resumable session engine, the exact
+// Markov-chain solver for small graphs, and the registered paper
+// experiments. The heavy lifting lives in internal packages (see DESIGN.md
+// for the system inventory).
 //
 // # Quick start
 //
 //	g := gossipdisc.Cycle(64)
 //	res := gossipdisc.RunPush(g, 42)
 //	fmt.Printf("complete after %d rounds\n", res.Rounds)
+//
+// # Sessions
+//
+// Every run is a resumable Session underneath; the Run* helpers are thin
+// wrappers that drive one to completion. Construct a Session directly (see
+// NewSession and the functional options in session.go) to step a run round
+// by round, read O(1) progress, observe per-round deltas, or mutate the
+// membership mid-flight — the shape long-running gossip deployments need:
+//
+//	sess := gossipdisc.NewSession(g, gossipdisc.WithWorkers(8))
+//	defer sess.Close()
+//	for {
+//	    delta, more := sess.Step()
+//	    _ = delta // new edges, degree increments, edges remaining
+//	    if !more {
+//	        break
+//	    }
+//	}
 package gossipdisc
 
 import (
@@ -78,6 +97,8 @@ type (
 
 // Engine types.
 type (
+	// CommitMode selects when proposed edges are inserted into the graph.
+	CommitMode = sim.CommitMode
 	// Config controls a single undirected run.
 	Config = sim.Config
 	// Result reports an undirected run.

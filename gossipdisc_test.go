@@ -157,6 +157,79 @@ func TestRunParallelFacade(t *testing.T) {
 	}
 }
 
+func TestNewSessionMatchesRunFacades(t *testing.T) {
+	// Zero options: Push from seed 1, sequential engine — exactly Run.
+	g1 := gossipdisc.Cycle(48)
+	want := gossipdisc.Run(g1, gossipdisc.Push{}, 1)
+	g2 := gossipdisc.Cycle(48)
+	sess := gossipdisc.NewSession(g2)
+	defer sess.Close()
+	if got := sess.Run(); got != want || !g2.Equal(g1) {
+		t.Fatalf("default session diverged from Run: %+v vs %+v", got, want)
+	}
+
+	// WithProcess + WithSeed + WithWorkers reproduces RunParallel.
+	g3 := gossipdisc.Cycle(100)
+	wantPar := gossipdisc.RunParallel(g3, gossipdisc.Pull{}, 9, 4)
+	g4 := gossipdisc.Cycle(100)
+	par := gossipdisc.NewSession(g4,
+		gossipdisc.WithProcess(gossipdisc.Pull{}),
+		gossipdisc.WithSeed(9),
+		gossipdisc.WithWorkers(4))
+	defer par.Close()
+	if got := par.Run(); got != wantPar || !g4.Equal(g3) {
+		t.Fatalf("parallel session diverged from RunParallel: %+v vs %+v", got, wantPar)
+	}
+}
+
+func TestNewSessionOptions(t *testing.T) {
+	streamed := 0
+	g := gossipdisc.Path(24)
+	sess := gossipdisc.NewSession(g,
+		gossipdisc.WithSeed(5),
+		gossipdisc.WithMaxRounds(3),
+		gossipdisc.WithCommitMode(gossipdisc.CommitEager),
+		gossipdisc.WithDeltaObserver(func(g *gossipdisc.Graph, d *gossipdisc.RoundDelta) {
+			streamed += len(d.NewEdges)
+		}),
+		gossipdisc.WithDone(func(g *gossipdisc.Graph) bool { return false }),
+	)
+	defer sess.Close()
+	res := sess.Run()
+	if res.Rounds != 3 || res.Converged {
+		t.Fatalf("MaxRounds/Done options ignored: %+v", res)
+	}
+	if streamed != res.NewEdges {
+		t.Fatalf("delta observer saw %d edges, result has %d", streamed, res.NewEdges)
+	}
+}
+
+func TestNewDirectedSessionFacadeParity(t *testing.T) {
+	g1 := gossipdisc.DirectedCycle(24)
+	want := gossipdisc.RunDirected(g1, 7)
+	g2 := gossipdisc.DirectedCycle(24)
+	sess := gossipdisc.NewDirectedSession(g2, gossipdisc.WithSeed(7))
+	defer sess.Close()
+	if got := sess.Run(); got != want || !g2.Equal(g1) {
+		t.Fatalf("directed session diverged from RunDirected: %+v vs %+v", got, want)
+	}
+	if sess.ClosureArcsRemaining() != 0 {
+		t.Fatal("closure accessor nonzero at termination")
+	}
+}
+
+func TestTrialsAggregateFacade(t *testing.T) {
+	results, agg := gossipdisc.TrialsAggregate(4, 11, func(trial int, r *gossipdisc.Rand) *gossipdisc.Graph {
+		return gossipdisc.Cycle(24)
+	}, gossipdisc.Push{})
+	if len(results) != 4 || len(agg) == 0 {
+		t.Fatalf("aggregate facade shape: %d results, %d rounds", len(results), len(agg))
+	}
+	if last := agg[len(agg)-1]; last.MeanEdgeFraction != 1 {
+		t.Fatalf("final mean edge fraction %v", last.MeanEdgeFraction)
+	}
+}
+
 func TestRunDirectedParallelFacade(t *testing.T) {
 	run := func(workers int) gossipdisc.DirectedResult {
 		return gossipdisc.RunDirectedParallel(gossipdisc.DirectedCycle(40), 7, workers)

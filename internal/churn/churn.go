@@ -12,6 +12,13 @@
 // the processes chase keeps moving. The natural steady-state metric is
 // coverage — the fraction of current-member pairs that know each other —
 // which experiment E14 tracks against the churn rate.
+//
+// The Session is a thin orchestration layer over the engine's resumable
+// sim.Session: churn events are applied between steps through the engine's
+// membership mutations (InsertNode / RemoveNode / AddEdge), each gossip
+// round is one sim.Session.Step, and coverage comes from the engine's
+// incrementally maintained alive-edge count — O(1) per read instead of the
+// O(members²) pair scan earlier releases performed every round.
 package churn
 
 import (
@@ -21,6 +28,7 @@ import (
 	"gossipdisc/internal/gen"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
 )
 
 // Config parameterizes a churn session.
@@ -44,13 +52,11 @@ type Config struct {
 // Session is a running churn simulation.
 type Session struct {
 	cfg          Config
-	g            *graph.Undirected
+	es           *sim.Session
 	alive        []bool
 	members      []int // alive node ids (unordered)
 	nextSlot     int
-	proc         core.Process
 	r            *rng.Rand
-	round        int
 	joinsDropped int
 }
 
@@ -62,49 +68,62 @@ func NewSession(cfg Config, r *rng.Rand) *Session {
 	if cfg.SeedDegree < 1 {
 		cfg.SeedDegree = 1
 	}
+	g := graph.NewUndirected(cfg.Capacity)
+	alive := make([]bool, cfg.Capacity)
 	s := &Session{
 		cfg:      cfg,
-		g:        graph.NewUndirected(cfg.Capacity),
-		alive:    make([]bool, cfg.Capacity),
+		alive:    alive,
 		nextSlot: cfg.InitialMembers,
 		r:        r,
 	}
 	// Initial topology: ring plus one random chord per member, connected.
 	init := gen.Cycle(cfg.InitialMembers)
 	for _, e := range init.Edges() {
-		s.g.AddEdge(e.U, e.V)
+		g.AddEdge(e.U, e.V)
 	}
 	for u := 0; u < cfg.InitialMembers; u++ {
-		s.g.AddEdge(u, r.Intn(cfg.InitialMembers))
-		s.alive[u] = true
+		g.AddEdge(u, r.Intn(cfg.InitialMembers))
+		alive[u] = true
 		s.members = append(s.members, u)
 	}
+	var proc core.Process
 	if cfg.Pull {
-		s.proc = core.CrashedPull{Alive: s.alive}
+		proc = core.CrashedPull{Alive: alive}
 	} else {
-		s.proc = core.Crashed{Inner: core.Push{}, Alive: s.alive}
+		proc = core.Crashed{Inner: core.Push{}, Alive: alive}
 	}
+	// The engine session runs open-ended: churn never converges, so the
+	// Done predicate is pinned false and the round budget unbounded. The
+	// liveness-aware process shares the session's alive mask, so membership
+	// mutations between steps are visible to the next act phase.
+	s.es = sim.NewSession(g, proc, r, sim.Config{
+		MaxRounds: -1,
+		Done:      func(*graph.Undirected) bool { return false },
+	})
+	s.es.TrackMembership(alive)
 	return s
 }
 
 // Members returns the number of current members.
-func (s *Session) Members() int { return len(s.members) }
+func (s *Session) Members() int { return s.es.MemberCount() }
 
 // Round returns the number of completed rounds.
-func (s *Session) Round() int { return s.round }
+func (s *Session) Round() int { return s.es.Round() }
 
 // JoinsDropped reports joins that failed for lack of fresh slots.
 func (s *Session) JoinsDropped() int { return s.joinsDropped }
 
 // Graph exposes the underlying accumulated contact graph (read-only use).
-func (s *Session) Graph() *graph.Undirected { return s.g }
+func (s *Session) Graph() *graph.Undirected { return s.es.Graph() }
 
 // Alive reports whether slot u currently holds a member.
 func (s *Session) Alive(u int) bool { return s.alive[u] }
 
 // Step executes one synchronous round: churn events first (memberships
-// change between rounds), then one gossip round among current members.
-func (s *Session) Step() {
+// change between rounds), then one gossip round among current members. It
+// returns the round's delta — new edges plus the join/leave events the
+// churn applied — owned by the engine session and reused across rounds.
+func (s *Session) Step() *sim.RoundDelta {
 	// Poissonized churn: Rate expected events, geometric-free simple loop.
 	events := 0
 	for remaining := s.cfg.Rate; remaining > 0; remaining-- {
@@ -121,20 +140,8 @@ func (s *Session) Step() {
 	}
 
 	// One synchronous gossip round among the living.
-	var buf []graph.Edge
-	n := s.g.N()
-	for u := 0; u < n; u++ {
-		if !s.alive[u] {
-			continue
-		}
-		s.proc.Act(s.g, u, s.r, func(a, b int) {
-			buf = append(buf, graph.Edge{U: a, V: b})
-		})
-	}
-	for _, e := range buf {
-		s.g.AddEdge(e.U, e.V)
-	}
-	s.round++
+	d, _ := s.es.Step()
+	return d
 }
 
 // churnOnce removes one uniform member and admits one joiner.
@@ -147,7 +154,7 @@ func (s *Session) churnOnce() {
 	leaving := s.members[i]
 	s.members[i] = s.members[len(s.members)-1]
 	s.members = s.members[:len(s.members)-1]
-	s.alive[leaving] = false
+	s.es.RemoveNode(leaving)
 
 	// Join: fresh slot, bootstrap contacts among current members.
 	if s.nextSlot >= s.cfg.Capacity {
@@ -156,30 +163,17 @@ func (s *Session) churnOnce() {
 	}
 	joiner := s.nextSlot
 	s.nextSlot++
-	s.alive[joiner] = true
+	s.es.InsertNode(joiner)
 	for k := 0; k < s.cfg.SeedDegree; k++ {
-		s.g.AddEdge(joiner, s.members[s.r.Intn(len(s.members))])
+		s.es.AddEdge(joiner, s.members[s.r.Intn(len(s.members))])
 	}
 	s.members = append(s.members, joiner)
 }
 
 // Coverage returns the fraction of unordered current-member pairs that are
-// adjacent (1 = every member knows every member).
-func (s *Session) Coverage() float64 {
-	m := len(s.members)
-	if m < 2 {
-		return 1
-	}
-	have := 0
-	for i := 0; i < m; i++ {
-		for j := i + 1; j < m; j++ {
-			if s.g.HasEdge(s.members[i], s.members[j]) {
-				have++
-			}
-		}
-	}
-	return float64(have) / float64(m*(m-1)/2)
-}
+// adjacent (1 = every member knows every member). It reads the engine
+// session's incrementally maintained counts — O(1), no graph scan.
+func (s *Session) Coverage() float64 { return s.es.Coverage() }
 
 // Run executes rounds steps and returns the coverage after each step.
 func (s *Session) Run(rounds int) []float64 {

@@ -158,6 +158,86 @@ func TestCoverageTrivialForTinyMembership(t *testing.T) {
 	}
 }
 
+// coverageByScan recomputes coverage the way pre-session releases did: a
+// full O(members²) pair scan. It is the reference the incremental
+// alive-edge tracking must match exactly.
+func coverageByScan(s *Session) float64 {
+	var members []int
+	for u := 0; u < s.Graph().N(); u++ {
+		if s.Alive(u) {
+			members = append(members, u)
+		}
+	}
+	m := len(members)
+	if m < 2 {
+		return 1
+	}
+	have := 0
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if s.Graph().HasEdge(members[i], members[j]) {
+				have++
+			}
+		}
+	}
+	return float64(have) / float64(m*(m-1)/2)
+}
+
+// TestIncrementalCoverageMatchesScan drives a churny session and checks the
+// O(1) incremental coverage against the full pair scan after every round.
+func TestIncrementalCoverageMatchesScan(t *testing.T) {
+	for _, pull := range []bool{false, true} {
+		cfg := base()
+		cfg.Rate = 1.5
+		cfg.Pull = pull
+		s := NewSession(cfg, rng.New(11))
+		for i := 0; i < 300; i++ {
+			s.Step()
+			if got, want := s.Coverage(), coverageByScan(s); got != want {
+				t.Fatalf("pull=%v round %d: incremental coverage %v != scan %v", pull, i+1, got, want)
+			}
+		}
+	}
+}
+
+// TestStepDeltaCarriesChurnEvents checks that the engine delta returned by
+// Step surfaces the joins and leaves applied before the round, and that its
+// membership counts match the session accessors.
+func TestStepDeltaCarriesChurnEvents(t *testing.T) {
+	cfg := base()
+	cfg.Rate = 2
+	s := NewSession(cfg, rng.New(12))
+	joins, leaves := 0, 0
+	for i := 0; i < 200; i++ {
+		d := s.Step()
+		if d == nil {
+			t.Fatalf("round %d: nil delta", i+1)
+		}
+		joins += len(d.Joined)
+		leaves += len(d.Left)
+		if d.Members != s.Members() {
+			t.Fatalf("round %d: delta members %d != session %d", i+1, d.Members, s.Members())
+		}
+		// A slot that joined and left within the same between-round batch
+		// appears in both lists; otherwise liveness must match the event.
+		left := map[int32]bool{}
+		for _, u := range d.Left {
+			left[u] = true
+			if s.Alive(int(u)) {
+				t.Fatalf("round %d: left node %d still alive", i+1, u)
+			}
+		}
+		for _, u := range d.Joined {
+			if !s.Alive(int(u)) && !left[u] {
+				t.Fatalf("round %d: joined node %d not alive", i+1, u)
+			}
+		}
+	}
+	if joins == 0 || leaves == 0 {
+		t.Fatalf("no churn events observed in deltas: %d joins, %d leaves", joins, leaves)
+	}
+}
+
 func mean(xs []float64) float64 {
 	s := 0.0
 	for _, x := range xs {

@@ -10,6 +10,23 @@
 // trajectory recording O(new edges) per round and allocation-flat. Both
 // modes always record the final committed round even under subsampling
 // (Every > 1) — see Trajectory.Finalize.
+//
+// Stepped sessions need no observer wiring at all: sim.Session.Step returns
+// the same delta the observer would receive, so a driver loop can feed a
+// trajectory directly —
+//
+//	for {
+//	    d, more := sess.Step()
+//	    if d == nil {
+//	        break
+//	    }
+//	    traj.ObserveDelta(sess.Graph(), d)
+//	    if !more {
+//	        break
+//	    }
+//	}
+//
+// (cmd/gossipsim's -trace flag drives trial 0 exactly this way.)
 package metrics
 
 import (

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
@@ -14,6 +16,11 @@ import (
 // round counts — experiment E15 checks that the asymptotics are
 // scheduler-independent (the constants shift slightly because an activated
 // node immediately observes all previously added edges).
+//
+// Like its synchronous siblings, the scheduler is exposed as a resumable
+// AsyncSession whose Step advances one parallel round (n ticks, or fewer
+// if the run terminates mid-round); RunAsync is a thin wrapper driving a
+// session to completion.
 
 // AsyncResult reports an asynchronous run.
 type AsyncResult struct {
@@ -28,76 +35,204 @@ type AsyncResult struct {
 	NewEdges  int
 }
 
-// AsyncConfig controls an asynchronous run.
+// AsyncConfig controls an asynchronous run or session.
 type AsyncConfig struct {
-	// MaxTicks aborts the run (0 = n × DefaultMaxRounds(n)).
+	// MaxTicks aborts the run (0 = n × DefaultMaxRounds(n); negative means
+	// unbounded, for open-ended stepped AsyncSessions, mirroring
+	// Config.MaxRounds).
 	MaxTicks int
 	// Done overrides the convergence predicate (default: complete graph).
 	Done func(g *graph.Undirected) bool
 	// DeltaObserver, if non-nil, receives a streaming delta after every
 	// completed parallel round (n ticks) — the asynchronous analogue of
 	// Config.DeltaObserver, with RoundDelta.Round counting parallel rounds.
-	// A final partial round, if any, is emitted before RunAsync returns.
+	// A final partial round, if any, is emitted before the run finishes.
 	// The delta and its slices are reused; copy anything retained.
 	DeltaObserver func(g *graph.Undirected, d *RoundDelta)
 }
 
-// RunAsync executes p under the uniform single-activation scheduler until
-// convergence or the tick budget is exhausted.
-func RunAsync(g *graph.Undirected, p core.Process, r *rng.Rand, cfg AsyncConfig) AsyncResult {
+// AsyncSession is a resumable asynchronous run: Step executes the ticks of
+// one parallel round, Run drives to the Done predicate or the tick budget.
+type AsyncSession struct {
+	g *graph.Undirected
+	p core.Process
+	r *rng.Rand
+
+	n        int
+	maxTicks int
+	done     func(*graph.Undirected) bool
+
+	started  bool
+	finished bool
+
+	res    AsyncResult
+	rounds int // parallel-round boundaries passed (delta numbering)
+
+	accepted []graph.Edge
+	propose  func(a, b int)
+	ds       *deltaState
+}
+
+// NewAsyncSession constructs a resumable asynchronous session over g.
+// Nothing is consumed from r until the first step.
+func NewAsyncSession(g *graph.Undirected, p core.Process, r *rng.Rand, cfg AsyncConfig) *AsyncSession {
 	n := g.N()
 	maxTicks := cfg.MaxTicks
-	if maxTicks <= 0 {
+	if maxTicks == 0 {
 		maxTicks = n * DefaultMaxRounds(n)
+	} else if maxTicks < 0 {
+		maxTicks = math.MaxInt
 	}
 	done := cfg.Done
 	if done == nil {
 		done = (*graph.Undirected).IsComplete
 	}
-
-	var res AsyncResult
-	if done(g) {
-		res.Converged = true
-		return res
+	s := &AsyncSession{
+		g:        g,
+		p:        p,
+		r:        r,
+		n:        n,
+		maxTicks: maxTicks,
+		done:     done,
 	}
-	if n == 0 {
-		return res
-	}
-	var ds *deltaState
-	var accepted []graph.Edge
 	if cfg.DeltaObserver != nil {
-		ds = newDeltaState(n, cfg.DeltaObserver)
+		s.ds = newDeltaState(n, cfg.DeltaObserver)
 	}
-	// The propose closure is hoisted out of the tick loop so steady-state
-	// ticks allocate nothing.
-	propose := func(a, b int) {
-		res.Proposals++
-		if g.AddEdge(a, b) {
-			res.NewEdges++
-			if ds != nil {
-				accepted = append(accepted, graph.Edge{U: a, V: b}.Norm())
+	return s
+}
+
+func (s *AsyncSession) start() {
+	s.started = true
+	if s.done(s.g) {
+		s.res.Converged = true
+		s.finished = true
+		return
+	}
+	if s.n == 0 {
+		s.finished = true
+		return
+	}
+	// The propose closure is hoisted so steady-state ticks allocate nothing.
+	s.propose = func(a, b int) {
+		s.res.Proposals++
+		if s.g.AddEdge(a, b) {
+			s.res.NewEdges++
+			if s.ds != nil {
+				s.accepted = append(s.accepted, graph.Edge{U: a, V: b}.Norm())
 			}
 		}
 	}
-	rounds := 0
-	for tick := 1; tick <= maxTicks; tick++ {
-		u := r.Intn(n)
-		p.Act(g, u, r, propose)
-		res.Ticks = tick
-		if ds != nil && tick%n == 0 {
-			rounds++
-			ds.emit(rounds, g, accepted)
-			accepted = accepted[:0]
-		}
-		// Checking completeness is O(1) (edge counter), so test per tick.
-		if done(g) {
-			res.Converged = true
-			break
+}
+
+// emitRound emits the accumulated delta for the given parallel round.
+func (s *AsyncSession) emitRound(round int) {
+	if s.ds != nil {
+		s.ds.emit(round, s.g, s.accepted)
+	}
+	s.accepted = s.accepted[:0]
+}
+
+// step executes the ticks of one parallel round (fewer if the run
+// terminates mid-round) and reports whether the session can continue.
+func (s *AsyncSession) step() bool {
+	if s.finished {
+		return false
+	}
+	if !s.started {
+		s.start()
+		if s.finished {
+			return false
 		}
 	}
-	if ds != nil && (len(accepted) > 0 || res.Ticks%n != 0) {
-		ds.emit(rounds+1, g, accepted)
+	for s.res.Ticks < s.maxTicks {
+		s.res.Ticks++
+		u := s.r.Intn(s.n)
+		s.p.Act(s.g, u, s.r, s.propose)
+		if s.res.Ticks%s.n == 0 {
+			// Parallel-round boundary: emit, then test convergence, exactly
+			// the tick loop order of the pre-session RunAsync.
+			s.rounds++
+			s.emitRound(s.rounds)
+			if s.done(s.g) {
+				s.res.Converged = true
+				s.finished = true
+			}
+			s.res.ParallelRounds = float64(s.res.Ticks) / float64(s.n)
+			return !s.finished && s.res.Ticks < s.maxTicks
+		}
+		if s.done(s.g) {
+			// Terminated mid-round: emit the final partial round.
+			s.res.Converged = true
+			s.finished = true
+			s.emitRound(s.rounds + 1)
+			s.res.ParallelRounds = float64(s.res.Ticks) / float64(s.n)
+			return false
+		}
 	}
-	res.ParallelRounds = float64(res.Ticks) / float64(n)
+	// Tick budget exhausted mid-round.
+	s.finished = true
+	if len(s.accepted) > 0 || s.res.Ticks%s.n != 0 {
+		s.emitRound(s.rounds + 1)
+	}
+	s.res.ParallelRounds = float64(s.res.Ticks) / float64(s.n)
+	return false
+}
+
+// Step executes one parallel round (n ticks, or fewer at termination) and
+// returns its delta plus whether the session can continue. The delta and
+// its slices are reused across rounds — copy anything retained.
+func (s *AsyncSession) Step() (d *RoundDelta, ok bool) {
+	if s.ds == nil {
+		s.ds = newDeltaState(s.n, nil)
+	}
+	before := s.res.Ticks
+	ok = s.step()
+	if s.res.Ticks == before {
+		return nil, false
+	}
+	return &s.ds.d, ok
+}
+
+// Run drives the session to the Done predicate or the tick budget.
+func (s *AsyncSession) Run() AsyncResult {
+	for s.step() {
+	}
+	return s.res
+}
+
+// Round returns the number of completed parallel rounds (Ticks / n). O(1).
+func (s *AsyncSession) Round() int {
+	if s.n == 0 {
+		return 0
+	}
+	return s.res.Ticks / s.n
+}
+
+// EdgesRemaining returns the number of node pairs still missing. O(1).
+func (s *AsyncSession) EdgesRemaining() int { return s.g.MissingEdges() }
+
+// Stats returns a snapshot of the cumulative run statistics. O(1).
+func (s *AsyncSession) Stats() AsyncResult {
+	res := s.res
+	if s.n > 0 {
+		res.ParallelRounds = float64(res.Ticks) / float64(s.n)
+	}
 	return res
+}
+
+// Converged reports whether the Done predicate has fired.
+func (s *AsyncSession) Converged() bool { return s.res.Converged }
+
+// Graph exposes the session's live graph (read-only use between steps).
+func (s *AsyncSession) Graph() *graph.Undirected { return s.g }
+
+// RunAsync executes p under the uniform single-activation scheduler until
+// convergence or the tick budget is exhausted. It is a thin wrapper over an
+// AsyncSession driven to completion; as with Run, the facade keeps its
+// historical MaxTicks <= 0 ⇒ default-budget semantics.
+func RunAsync(g *graph.Undirected, p core.Process, r *rng.Rand, cfg AsyncConfig) AsyncResult {
+	if cfg.MaxTicks < 0 {
+		cfg.MaxTicks = 0
+	}
+	return NewAsyncSession(g, p, r, cfg).Run()
 }

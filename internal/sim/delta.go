@@ -28,7 +28,9 @@ type RoundDelta struct {
 	// Round is the 1-based round number, matching Observer's argument.
 	Round int
 	// NewEdges lists the edges inserted this round, normalized U < V, in
-	// deterministic commit order.
+	// deterministic commit order. For membership-mutated sessions, edges
+	// injected between steps via Session.AddEdge lead the list, so the
+	// stream accounts for every insertion the graph saw.
 	NewEdges []graph.Edge
 	// Touched lists the nodes whose degree changed this round, in first-
 	// touch order of NewEdges.
@@ -39,6 +41,17 @@ type RoundDelta struct {
 	// EdgesRemaining is the number of node pairs still missing after the
 	// commit — 0 exactly when the graph is complete.
 	EdgesRemaining int
+	// Joined / Left list the membership events applied through
+	// Session.InsertNode / Session.RemoveNode since the previous committed
+	// round, in application order. They are empty unless the run is a
+	// Session with membership tracking enabled (see Session.TrackMembership).
+	Joined []int32
+	Left   []int32
+	// Members and MemberEdges mirror the session's incremental coverage
+	// counts after the commit: the current member count and the number of
+	// edges joining two members. Both are 0 when membership tracking is off.
+	Members     int
+	MemberEdges int
 }
 
 // DirectedRoundDelta is the directed counterpart of RoundDelta. As there,
@@ -79,6 +92,13 @@ func newDeltaState(n int, observer func(g *graph.Undirected, d *RoundDelta)) *de
 // emit fills the delta from the round's accepted edges and invokes the
 // observer. Steady-state emits allocate nothing once the slices are warm.
 func (ds *deltaState) emit(round int, g *graph.Undirected, accepted []graph.Edge) {
+	ds.fill(round, g, accepted)
+	ds.notify(g)
+}
+
+// fill populates the delta's commit-derived fields without notifying the
+// observer; sessions add their membership fields between fill and notify.
+func (ds *deltaState) fill(round int, g *graph.Undirected, accepted []graph.Edge) {
 	d := &ds.d
 	for _, u := range d.Touched {
 		d.DegreeInc[u] = 0
@@ -97,7 +117,14 @@ func (ds *deltaState) emit(round int, g *graph.Undirected, accepted []graph.Edge
 	}
 	d.Round = round
 	d.EdgesRemaining = g.MissingEdges()
-	ds.observer(g, d)
+}
+
+// notify invokes the observer, if any (a Session created by Step alone has
+// a delta state but no observer).
+func (ds *deltaState) notify(g *graph.Undirected) {
+	if ds.observer != nil {
+		ds.observer(g, &ds.d)
+	}
 }
 
 // directedDeltaState owns a directed run's reusable DirectedRoundDelta.
@@ -141,5 +168,7 @@ func (ds *directedDeltaState) emit(round int, g *graph.Directed, accepted []grap
 	}
 	d.Round = round
 	d.ClosureArcsRemaining = closureRemaining
-	ds.observer(g, d)
+	if ds.observer != nil {
+		ds.observer(g, d)
+	}
 }

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gossipdisc/internal/bitset"
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// DirectedSession is the directed counterpart of Session: a resumable run
+// of a directed process toward the transitive closure of the initial
+// graph. Construction computes the closure target once (Section 5's
+// invariant: the two-hop walk can never escape it), after which
+// ClosureArcsRemaining is an O(1) progress read at every step. The
+// RunDirected facade is a thin wrapper over a DirectedSession, so stepped
+// and fire-and-forget runs are bit-identical for every engine family.
+type DirectedSession struct {
+	g *graph.Directed
+	p core.DirectedProcess
+	r *rng.Rand
+
+	mode          CommitMode
+	workers       int
+	maxRounds     int
+	done          func(*graph.Directed) bool // nil ⇒ closure reached
+	observer      func(round int, g *graph.Directed)
+	deltaObserver func(g *graph.Directed, d *DirectedRoundDelta)
+
+	started  bool
+	finished bool
+	closed   bool
+
+	res DirectedResult
+
+	// Closure target of the *initial* graph and the count of its arcs
+	// still missing — the engine's own O(1) termination/progress counter.
+	target  []*bitset.Set
+	missing int
+
+	eng    *engine
+	engAct func(s *shard)
+
+	propose  func(a, b int)
+	buf      []graph.Arc
+	accepted []graph.Arc
+
+	ds *directedDeltaState
+}
+
+// NewDirectedSession constructs a resumable directed session over g. The
+// transitive closure of g is computed here (no generator output is
+// consumed); the first step performs the engine-family dispatch. As with
+// Session, a negative cfg.MaxRounds means unbounded stepping.
+func NewDirectedSession(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg DirectedConfig) *DirectedSession {
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultDirectedMaxRounds(g.N())
+	} else if maxRounds < 0 {
+		maxRounds = math.MaxInt
+	}
+	s := &DirectedSession{
+		g:             g,
+		p:             p,
+		r:             r,
+		mode:          cfg.Mode,
+		workers:       cfg.Workers,
+		maxRounds:     maxRounds,
+		done:          cfg.Done,
+		observer:      cfg.Observer,
+		deltaObserver: cfg.DeltaObserver,
+	}
+	s.target = g.TransitiveClosure()
+	for u, row := range s.target {
+		s.res.TargetArcs += row.Count()
+		c := row.Clone()
+		c.DifferenceWith(g.OutRow(u))
+		s.missing += c.Count()
+	}
+	if cfg.DeltaObserver != nil {
+		s.ds = newDirectedDeltaState(g.N(), cfg.DeltaObserver)
+	}
+	return s
+}
+
+// converged evaluates the termination predicate: the Done override when
+// set, otherwise "no closure arc is missing".
+func (s *DirectedSession) converged() bool {
+	if s.done != nil {
+		return s.done(s.g)
+	}
+	return s.missing == 0
+}
+
+// commitArc inserts one arc eagerly, maintaining the missing-closure
+// counter and the round's accepted list.
+func (s *DirectedSession) commitArc(a, b int) {
+	if s.g.AddArc(a, b) {
+		s.res.NewArcs++
+		if s.target[a].Test(b) {
+			s.missing--
+		}
+		if s.ds != nil {
+			s.accepted = append(s.accepted, graph.Arc{U: a, V: b})
+		}
+	} else {
+		s.res.DuplicateProposals++
+	}
+}
+
+// dispatch performs the engine-family setup, lazily at the first step that
+// executes a round, so a session that is done at entry consumes no
+// generator output.
+func (s *DirectedSession) dispatch() {
+	if s.mode == CommitSynchronous && s.workers >= 1 {
+		s.eng = newEngine(s.g.N(), s.workers, s.r)
+		s.engAct = func(sh *shard) {
+			for u := sh.lo; u < sh.hi; u++ {
+				s.p.Act(s.g, u, sh.r, sh.proposeArc)
+			}
+		}
+		return
+	}
+	switch s.mode {
+	case CommitSynchronous:
+		s.propose = func(a, b int) {
+			s.res.Proposals++
+			s.buf = append(s.buf, graph.Arc{U: a, V: b})
+		}
+	case CommitEager:
+		s.propose = func(a, b int) {
+			s.res.Proposals++
+			s.commitArc(a, b)
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown commit mode %d", s.mode))
+	}
+}
+
+// step executes one committed round and reports whether the session can
+// continue.
+func (s *DirectedSession) step() bool {
+	if s.finished || s.closed {
+		return false
+	}
+	if !s.started {
+		// Done-at-entry check, before any generator output is consumed.
+		s.started = true
+		if s.converged() {
+			s.res.Converged = true
+			s.finished = true
+			return false
+		}
+	}
+	if s.res.Rounds >= s.maxRounds {
+		s.finished = true
+		return false
+	}
+	if s.eng == nil && s.propose == nil {
+		s.dispatch()
+	}
+	round := s.res.Rounds + 1
+	s.buf, s.accepted = s.buf[:0], s.accepted[:0]
+
+	if s.eng != nil {
+		s.eng.actRound(s.engAct)
+		roundProposals := 0
+		acc := s.accepted
+		for i := range s.eng.shards {
+			sh := &s.eng.shards[i]
+			roundProposals += len(sh.arcs)
+			acc = s.g.AddArcsGrouped(sh.arcs, acc)
+			sh.arcs = sh.arcs[:0]
+		}
+		s.accepted = acc
+		s.res.Proposals += roundProposals
+		s.res.NewArcs += len(acc)
+		s.res.DuplicateProposals += roundProposals - len(acc)
+		for _, a := range acc {
+			if s.target[a.U].Test(a.V) {
+				s.missing--
+			}
+		}
+	} else {
+		n := s.g.N()
+		for u := 0; u < n; u++ {
+			s.p.Act(s.g, u, s.r, s.propose)
+		}
+		if s.mode == CommitSynchronous {
+			s.accepted = s.g.AddArcsGrouped(s.buf, s.accepted)
+			s.res.NewArcs += len(s.accepted)
+			s.res.DuplicateProposals += len(s.buf) - len(s.accepted)
+			for _, a := range s.accepted {
+				if s.target[a.U].Test(a.V) {
+					s.missing--
+				}
+			}
+		}
+	}
+	s.res.Rounds = round
+
+	if s.ds != nil {
+		s.ds.emit(round, s.g, s.accepted, s.missing)
+	}
+	if s.observer != nil {
+		s.observer(round, s.g)
+	}
+	if s.converged() {
+		s.res.Converged = true
+		s.finished = true
+		return false
+	}
+	if s.res.Rounds >= s.maxRounds {
+		s.finished = true
+		return false
+	}
+	return true
+}
+
+// Step executes one committed round and returns its delta plus whether the
+// session can continue. The final converging round is returned with
+// ok == false; a Step after that returns (nil, false). The delta and its
+// slices are reused across rounds — copy anything retained.
+func (s *DirectedSession) Step() (d *DirectedRoundDelta, ok bool) {
+	if s.ds == nil {
+		s.ds = newDirectedDeltaState(s.g.N(), s.deltaObserver)
+	}
+	before := s.res.Rounds
+	ok = s.step()
+	if s.res.Rounds == before {
+		return nil, false
+	}
+	return &s.ds.d, ok
+}
+
+// Run drives the session to termination or the round budget and returns
+// the cumulative statistics.
+func (s *DirectedSession) Run() DirectedResult {
+	for s.step() {
+	}
+	return s.res
+}
+
+// RunUntil steps until pred(g) holds (checked before every round),
+// termination, or budget exhaustion, and returns the statistics so far.
+// pred is a breakpoint, not a terminal state.
+func (s *DirectedSession) RunUntil(pred func(g *graph.Directed) bool) DirectedResult {
+	for !pred(s.g) && s.step() {
+	}
+	return s.res
+}
+
+// Round returns the number of committed rounds so far. O(1).
+func (s *DirectedSession) Round() int { return s.res.Rounds }
+
+// ClosureArcsRemaining returns the number of arcs of the initial graph's
+// transitive closure still missing — 0 exactly at closure. O(1).
+func (s *DirectedSession) ClosureArcsRemaining() int { return s.missing }
+
+// Stats returns a snapshot of the cumulative run statistics. O(1).
+func (s *DirectedSession) Stats() DirectedResult { return s.res }
+
+// Converged reports whether the termination predicate has fired.
+func (s *DirectedSession) Converged() bool { return s.res.Converged }
+
+// Graph exposes the session's live digraph (read-only use between steps).
+func (s *DirectedSession) Graph() *graph.Directed { return s.g }
+
+// Close releases the parked worker goroutines of a sharded session. It is
+// idempotent; the session must not be stepped afterwards.
+func (s *DirectedSession) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.eng != nil {
+		s.eng.stop()
+	}
+}

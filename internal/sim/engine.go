@@ -4,13 +4,15 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"gossipdisc/internal/bitset"
-	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
 )
 
 // This file implements the sharded parallel round engine (Workers >= 1).
+// The engine only owns the act phase: Session / DirectedSession create one
+// lazily at their first step, call actRound once per round, commit the
+// shard buffers themselves, and keep the worker goroutines parked between
+// steps until Close.
 //
 // Determinism contract. The node set [0, n) is partitioned into fixed
 // contiguous shards of shardNodes nodes; the shard layout depends only on n,
@@ -55,9 +57,10 @@ type shard struct {
 	_ [64]byte
 }
 
-// engine is the reusable sharded round engine shared by Run, RunDirected,
-// and the scale benchmarks. It is created once per run and reused across
-// every round of that run.
+// engine is the reusable sharded act-phase engine shared by Session and
+// DirectedSession. It is created once per session and reused across every
+// round; between rounds (and between session steps) the workers stay
+// parked on the start channel.
 type engine struct {
 	shards  []shard
 	workers int // goroutines consuming shards; 1 = run shards inline
@@ -68,12 +71,6 @@ type engine struct {
 	start chan struct{}
 	next  atomic.Int64
 	wg    sync.WaitGroup
-
-	// Commit-phase scratch, reused across rounds: the shard buffers are
-	// committed in shard order through the grouped graph calls, which
-	// accumulate the round's accepted edges here — the delta stream.
-	acceptedEdges []graph.Edge
-	accepted      []graph.Arc
 }
 
 // newEngine partitions [0, n) into shards, derives the per-shard streams by
@@ -155,101 +152,4 @@ func (e *engine) actRound(act func(s *shard)) {
 		e.start <- struct{}{}
 	}
 	e.wg.Wait()
-}
-
-// runUndirected drives g under p to the done predicate with synchronous
-// commits. Caller has already handled the done-at-entry case and defaults.
-func (e *engine) runUndirected(g *graph.Undirected, p core.Process, cfg Config,
-	done func(*graph.Undirected) bool, maxRounds int) Result {
-
-	var ds *deltaState
-	if cfg.DeltaObserver != nil {
-		ds = newDeltaState(g.N(), cfg.DeltaObserver)
-	}
-	act := func(s *shard) {
-		for u := s.lo; u < s.hi; u++ {
-			p.Act(g, u, s.r, s.proposeEdge)
-		}
-	}
-	var res Result
-	for round := 1; round <= maxRounds; round++ {
-		e.actRound(act)
-		// Committing the shard buffers in shard order through the grouped
-		// calls is state-identical to committing each buffer edge by edge
-		// (dedup state lives in the graph matrix), applies fused word-level
-		// ORs, and accumulates the round's accepted-edge delta for free.
-		roundProposals := 0
-		acc := e.acceptedEdges[:0]
-		for i := range e.shards {
-			s := &e.shards[i]
-			roundProposals += len(s.edges)
-			acc = g.AddEdgesGrouped(s.edges, acc)
-			s.edges = s.edges[:0]
-		}
-		e.acceptedEdges = acc
-		res.Proposals += roundProposals
-		res.NewEdges += len(acc)
-		res.DuplicateProposals += roundProposals - len(acc)
-		res.Rounds = round
-		if ds != nil {
-			ds.emit(round, g, e.acceptedEdges)
-		}
-		if cfg.Observer != nil {
-			cfg.Observer(round, g)
-		}
-		if done(g) {
-			res.Converged = true
-			return res
-		}
-	}
-	return res
-}
-
-// runDirected drives g under p until no closure arc is missing. target and
-// missing describe the transitive closure of the initial graph (computed by
-// RunDirected); res arrives with TargetArcs already filled in.
-func (e *engine) runDirected(g *graph.Directed, p core.DirectedProcess, cfg DirectedConfig,
-	maxRounds int, target []*bitset.Set, missing int, res DirectedResult) DirectedResult {
-
-	var ds *directedDeltaState
-	if cfg.DeltaObserver != nil {
-		ds = newDirectedDeltaState(g.N(), cfg.DeltaObserver)
-	}
-	act := func(s *shard) {
-		for u := s.lo; u < s.hi; u++ {
-			p.Act(g, u, s.r, s.proposeArc)
-		}
-	}
-	for round := 1; round <= maxRounds; round++ {
-		e.actRound(act)
-		roundProposals := 0
-		acc := e.accepted[:0]
-		for i := range e.shards {
-			s := &e.shards[i]
-			roundProposals += len(s.arcs)
-			acc = g.AddArcsGrouped(s.arcs, acc)
-			s.arcs = s.arcs[:0]
-		}
-		e.accepted = acc
-		res.Proposals += roundProposals
-		res.NewArcs += len(acc)
-		res.DuplicateProposals += roundProposals - len(acc)
-		for _, a := range acc {
-			if target[a.U].Test(a.V) {
-				missing--
-			}
-		}
-		res.Rounds = round
-		if ds != nil {
-			ds.emit(round, g, e.accepted, missing)
-		}
-		if cfg.Observer != nil {
-			cfg.Observer(round, g)
-		}
-		if missing == 0 {
-			res.Converged = true
-			return res
-		}
-	}
-	return res
 }

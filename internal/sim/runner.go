@@ -1,5 +1,6 @@
-// Package sim executes gossip discovery processes in synchronous rounds and
-// runs multi-trial experiments in parallel.
+// Package sim executes gossip discovery processes in synchronous rounds,
+// exposes them as resumable steppable sessions, and runs multi-trial
+// experiments in parallel.
 //
 // The round engine owns the commit semantics. Under CommitSynchronous — the
 // paper's model — every node's random choices in round t read G_t, and all
@@ -7,6 +8,20 @@
 // each proposal immediately, so later nodes in the same round observe edges
 // added by earlier ones; it is provided as an ablation (experiment E1/E3
 // report both; the asymptotics are indistinguishable).
+//
+// # Sessions
+//
+// The primary surface is the resumable Session (session.go) and its
+// directed and asynchronous counterparts (DirectedSession, AsyncSession):
+// construct once from (graph, process, generator, config), then drive with
+// Step / Run / RunUntil and read progress through O(1) accessors. The
+// fire-and-forget facades in this file — Run, RunDirected, RunAsync — are
+// thin wrappers that construct a session, drive it to completion, and
+// close it; a stepped session consumes exactly the generator stream the
+// facade consumes, so the two are bit-identical round for round. Sessions
+// additionally support between-step mutation (InsertNode / RemoveNode /
+// AddEdge with membership-aware deltas and O(1) coverage), which is what
+// the churn package builds on.
 //
 // # The sharded engine
 //
@@ -25,12 +40,14 @@
 //     Because the shard layout and streams depend only on n and the root
 //     generator, results are bit-identical for every Workers >= 1 and any
 //     GOMAXPROCS; Workers == 1 simply runs the shards inline without
-//     goroutines, and Workers > 1 spreads them over parked worker
-//     goroutines with two synchronization points per round.
+//     goroutines, and Workers > 1 spreads them over worker goroutines that
+//     stay parked between rounds (and between session steps) with two
+//     synchronization points per round.
 //
-// Both engines allocate only at run setup: propose closures are hoisted out
-// of the per-node loop, and proposal buffers are reused across rounds, so a
-// steady-state round performs zero allocations.
+// Both engines allocate only at session start: propose closures are hoisted
+// out of the per-node loop, and proposal buffers are reused across rounds,
+// so a steady-state round — equivalently, a steady-state Session.Step —
+// performs zero allocations.
 //
 // # The delta observer pipeline
 //
@@ -38,17 +55,17 @@
 // (graph.Undirected.AddEdgesGrouped / graph.Directed.AddArcsGrouped), which
 // apply each proposal to its graph row with a fused word-level OR (one
 // test-and-set per row word) and return the newly inserted edges. That
-// accepted list is
-// the round's *delta*, and Config.DeltaObserver / DirectedConfig.
-// DeltaObserver (and AsyncConfig.DeltaObserver, per parallel round) stream
-// it to consumers as a RoundDelta / DirectedRoundDelta: new edges, per-node
-// degree increments, and the O(1) progress counter (edges remaining, or
-// closure arcs remaining). Incremental consumers such as
-// metrics.Trajectory.ObserveDelta rebuild every snapshot quantity from the
-// stream, so trajectory recording costs O(new edges) per round instead of a
-// full O(n + m) graph inspection. Deltas are emitted before Observer runs
-// and obey the same determinism contract as Result: bit-identical for every
-// Workers >= 1. See delta.go.
+// accepted list is the round's *delta*, and Config.DeltaObserver /
+// DirectedConfig.DeltaObserver (and AsyncConfig.DeltaObserver, per parallel
+// round) stream it to consumers as a RoundDelta / DirectedRoundDelta: new
+// edges, per-node degree increments, and the O(1) progress counter (edges
+// remaining, or closure arcs remaining). Session.Step returns the same
+// delta directly, so stepped consumers need no observer at all. Incremental
+// consumers such as metrics.Trajectory.ObserveDelta rebuild every snapshot
+// quantity from the stream, so trajectory recording costs O(new edges) per
+// round instead of a full O(n + m) graph inspection. Deltas are emitted
+// before Observer runs and obey the same determinism contract as Result:
+// bit-identical for every Workers >= 1. See delta.go.
 //
 // CommitEager is inherently sequential — its semantics *are* the node
 // order — so eager runs always use the sequential engine and ignore
@@ -60,6 +77,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
@@ -89,10 +107,12 @@ func (m CommitMode) String() string {
 	}
 }
 
-// Config controls a single run.
+// Config controls a single run or session.
 type Config struct {
-	// MaxRounds aborts the run after this many rounds (0 means a generous
-	// default of 500·n·(log₂n+1)² rounds, far beyond the w.h.p. bounds).
+	// MaxRounds aborts the run after this many rounds. 0 means a generous
+	// default of 500·n·(log₂n+1)² rounds, far beyond the w.h.p. bounds; a
+	// negative value means unbounded and is meaningful only for stepped
+	// Sessions (open-ended dynamics such as churn never converge).
 	MaxRounds int
 	// Mode selects the commit semantics (default CommitSynchronous).
 	Mode CommitMode
@@ -134,113 +154,46 @@ type Result struct {
 }
 
 // DefaultMaxRounds returns the default round budget for an n-node graph:
-// comfortably above the paper's O(n log² n) w.h.p. bound.
+// 500·n·(log₂n+1)² with log₂ rounded up to the bit length, comfortably
+// above the paper's O(n log² n) w.h.p. bound.
 func DefaultMaxRounds(n int) int {
 	if n < 2 {
 		return 1
 	}
-	lg := 0
-	for v := n; v > 0; v >>= 1 {
-		lg++
-	}
+	lg := bits.Len(uint(n))
 	return 500 * n * (lg + 1) * (lg + 1)
 }
 
 // Run executes p on g (mutating g) until convergence or the round budget is
-// exhausted, and returns the run statistics.
+// exhausted, and returns the run statistics. It is a thin wrapper over a
+// Session driven to completion; use NewSession directly to step, observe,
+// or mutate the run in flight. Unlike a stepped Session, the facade keeps
+// its historical budget semantics for every input: MaxRounds <= 0 selects
+// the default budget (an unbounded fire-and-forget run could never return).
 func Run(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) Result {
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(g.N())
+	if cfg.MaxRounds < 0 {
+		cfg.MaxRounds = 0
 	}
-	done := cfg.Done
-	if done == nil {
-		done = (*graph.Undirected).IsComplete
-	}
-
-	var res Result
-	if done(g) {
-		res.Converged = true
-		return res
-	}
-	if cfg.Mode == CommitSynchronous && cfg.Workers >= 1 {
-		e := newEngine(g.N(), cfg.Workers, r)
-		defer e.stop()
-		return e.runUndirected(g, p, cfg, done, maxRounds)
-	}
-	return runSequential(g, p, r, cfg, done, maxRounds)
+	s := NewSession(g, p, r, cfg)
+	defer s.Close()
+	return s.Run()
 }
 
-// runSequential is the classic single-stream engine: all nodes act in node
-// order off one generator. The propose closures are hoisted out of the
-// round loop, so steady-state rounds allocate nothing.
-func runSequential(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config,
-	done func(*graph.Undirected) bool, maxRounds int) Result {
-
-	var res Result
-	n := g.N()
-	var ds *deltaState
-	if cfg.DeltaObserver != nil {
-		ds = newDeltaState(n, cfg.DeltaObserver)
-	}
-	var buf, accepted []graph.Edge // reused across rounds
-	var propose func(a, b int)
-	switch cfg.Mode {
-	case CommitSynchronous:
-		propose = func(a, b int) {
-			res.Proposals++
-			buf = append(buf, graph.Edge{U: a, V: b})
-		}
-	case CommitEager:
-		propose = func(a, b int) {
-			res.Proposals++
-			if g.AddEdge(a, b) {
-				res.NewEdges++
-				if ds != nil {
-					accepted = append(accepted, graph.Edge{U: a, V: b}.Norm())
-				}
-			} else {
-				res.DuplicateProposals++
-			}
-		}
-	default:
-		panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
-	}
-
-	for round := 1; round <= maxRounds; round++ {
-		buf, accepted = buf[:0], accepted[:0]
-		for u := 0; u < n; u++ {
-			p.Act(g, u, r, propose)
-		}
-		if cfg.Mode == CommitSynchronous {
-			accepted = g.AddEdgesGrouped(buf, accepted)
-			res.NewEdges += len(accepted)
-			res.DuplicateProposals += len(buf) - len(accepted)
-		}
-		res.Rounds = round
-		if ds != nil {
-			ds.emit(round, g, accepted)
-		}
-		if cfg.Observer != nil {
-			cfg.Observer(round, g)
-		}
-		if done(g) {
-			res.Converged = true
-			return res
-		}
-	}
-	return res
-}
-
-// DirectedConfig controls a directed run.
+// DirectedConfig controls a directed run or session.
 type DirectedConfig struct {
 	// MaxRounds aborts the run (0 means 500·n²·(log₂n+1), above the
-	// O(n² log n) w.h.p. bound of Theorem 14).
+	// O(n² log n) w.h.p. bound of Theorem 14; negative means unbounded,
+	// for stepped DirectedSessions).
 	MaxRounds int
 	// Mode selects commit semantics (default CommitSynchronous).
 	Mode CommitMode
 	// Workers selects the round engine, exactly as Config.Workers.
 	Workers int
+	// Done, if non-nil, overrides the termination predicate (default: the
+	// graph contains the transitive closure of the initial graph). It is
+	// evaluated after every round and honored by both engine families,
+	// mirroring Config.Done.
+	Done func(g *graph.Directed) bool
 	// Observer, if non-nil, is called after every committed round.
 	Observer func(round int, g *graph.Directed)
 	// DeltaObserver, if non-nil, receives the round's streaming delta (new
@@ -262,110 +215,31 @@ type DirectedResult struct {
 	TargetArcs int
 }
 
-// DefaultDirectedMaxRounds returns the default directed round budget.
+// DefaultDirectedMaxRounds returns the default directed round budget,
+// 500·n²·(log₂n+1) with log₂ rounded up to the bit length.
 func DefaultDirectedMaxRounds(n int) int {
 	if n < 2 {
 		return 1
 	}
-	lg := 0
-	for v := n; v > 0; v >>= 1 {
-		lg++
-	}
+	lg := bits.Len(uint(n))
 	return 500 * n * n * (lg + 1)
 }
 
-// RunDirected executes p on g until G contains the transitive closure of the
-// initial graph (the paper's termination condition in Section 5).
+// RunDirected executes p on g until g contains the transitive closure of the
+// initial graph (the paper's termination condition in Section 5), or until
+// cfg.Done fires when set.
 //
 // The closure of the *initial* graph is computed once; because the two-hop
 // walk only adds arcs (u, w) already implied by a u→v→w path, the closure is
 // invariant throughout the run, so tracking the count of still-missing
-// closure arcs gives an O(1)-per-arc termination test.
+// closure arcs gives an O(1)-per-arc termination test. It is a thin wrapper
+// over a DirectedSession driven to completion; as with Run, the facade
+// keeps its historical MaxRounds <= 0 ⇒ default-budget semantics.
 func RunDirected(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg DirectedConfig) DirectedResult {
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultDirectedMaxRounds(g.N())
+	if cfg.MaxRounds < 0 {
+		cfg.MaxRounds = 0
 	}
-
-	target := g.TransitiveClosure()
-	var res DirectedResult
-	missing := 0
-	for u, row := range target {
-		res.TargetArcs += row.Count()
-		c := row.Clone()
-		c.DifferenceWith(g.OutRow(u))
-		missing += c.Count()
-	}
-	if missing == 0 {
-		res.Converged = true
-		return res
-	}
-	if cfg.Mode == CommitSynchronous && cfg.Workers >= 1 {
-		e := newEngine(g.N(), cfg.Workers, r)
-		defer e.stop()
-		return e.runDirected(g, p, cfg, maxRounds, target, missing, res)
-	}
-
-	n := g.N()
-	var ds *directedDeltaState
-	if cfg.DeltaObserver != nil {
-		ds = newDirectedDeltaState(n, cfg.DeltaObserver)
-	}
-	var buf, accepted []graph.Arc
-	var propose func(a, b int)
-	commit := func(a, b int) {
-		if g.AddArc(a, b) {
-			res.NewArcs++
-			if target[a].Test(b) {
-				missing--
-			}
-			if ds != nil {
-				accepted = append(accepted, graph.Arc{U: a, V: b})
-			}
-		} else {
-			res.DuplicateProposals++
-		}
-	}
-	switch cfg.Mode {
-	case CommitSynchronous:
-		propose = func(a, b int) {
-			res.Proposals++
-			buf = append(buf, graph.Arc{U: a, V: b})
-		}
-	case CommitEager:
-		propose = func(a, b int) {
-			res.Proposals++
-			commit(a, b)
-		}
-	default:
-		panic(fmt.Sprintf("sim: unknown commit mode %d", cfg.Mode))
-	}
-	for round := 1; round <= maxRounds; round++ {
-		buf, accepted = buf[:0], accepted[:0]
-		for u := 0; u < n; u++ {
-			p.Act(g, u, r, propose)
-		}
-		if cfg.Mode == CommitSynchronous {
-			accepted = g.AddArcsGrouped(buf, accepted)
-			res.NewArcs += len(accepted)
-			res.DuplicateProposals += len(buf) - len(accepted)
-			for _, a := range accepted {
-				if target[a.U].Test(a.V) {
-					missing--
-				}
-			}
-		}
-		res.Rounds = round
-		if ds != nil {
-			ds.emit(round, g, accepted, missing)
-		}
-		if cfg.Observer != nil {
-			cfg.Observer(round, g)
-		}
-		if missing == 0 {
-			res.Converged = true
-			return res
-		}
-	}
-	return res
+	s := NewDirectedSession(g, p, r, cfg)
+	defer s.Close()
+	return s.Run()
 }

@@ -184,6 +184,76 @@ func TestDefaultMaxRounds(t *testing.T) {
 	}
 }
 
+// TestDefaultMaxRoundsBitLength pins the bits.Len-based budgets to the
+// hand-rolled shift loop they replaced: returned budgets must be identical
+// for every n, since MaxRounds feeds seeded runs.
+func TestDefaultMaxRoundsBitLength(t *testing.T) {
+	legacyLg := func(n int) int {
+		lg := 0
+		for v := n; v > 0; v >>= 1 {
+			lg++
+		}
+		return lg
+	}
+	ns := []int{2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100,
+		127, 128, 129, 255, 256, 257, 511, 512, 1023, 1024, 1 << 16, 1<<20 - 1, 1 << 20}
+	for _, n := range ns {
+		lg := legacyLg(n)
+		if got, want := DefaultMaxRounds(n), 500*n*(lg+1)*(lg+1); got != want {
+			t.Fatalf("DefaultMaxRounds(%d) = %d, legacy loop gives %d", n, got, want)
+		}
+		if got, want := DefaultDirectedMaxRounds(n), 500*n*n*(lg+1); got != want {
+			t.Fatalf("DefaultDirectedMaxRounds(%d) = %d, legacy loop gives %d", n, got, want)
+		}
+	}
+}
+
+// TestRunDirectedCustomDone: the new DirectedConfig.Done override (API
+// parity with Config.Done) stops the run at 90% closure, on both engine
+// families.
+func TestRunDirectedCustomDone(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		g := gen.DirectedCycle(48)
+		m0 := g.M()
+		target := g.ClosureArcCount()
+		// Stop when 90% of the initially missing closure arcs are present.
+		goal := m0 + (9*(target-m0)+9)/10
+		res := RunDirected(g, core.DirectedTwoHop{}, rng.New(17), DirectedConfig{
+			Workers: workers,
+			Done:    func(g *graph.Directed) bool { return g.M() >= goal },
+		})
+		if !res.Converged {
+			t.Fatalf("Workers=%d: 90%%-closure run did not converge: %+v", workers, res)
+		}
+		if g.M() < goal {
+			t.Fatalf("Workers=%d: done fired with %d arcs, goal %d", workers, g.M(), goal)
+		}
+		if g.IsClosed() {
+			t.Fatalf("Workers=%d: run went all the way to closure despite Done", workers)
+		}
+		if res.TargetArcs != target {
+			t.Fatalf("Workers=%d: TargetArcs %d want %d", workers, res.TargetArcs, target)
+		}
+	}
+}
+
+// TestRunDirectedCustomDoneAtEntry: a Done already satisfied at entry must
+// return without consuming generator output, as the default predicate does.
+func TestRunDirectedCustomDoneAtEntry(t *testing.T) {
+	g := gen.DirectedCycle(8)
+	r := rng.New(3)
+	before := *r
+	res := RunDirected(g, core.DirectedTwoHop{}, r, DirectedConfig{
+		Done: func(g *graph.Directed) bool { return true },
+	})
+	if !res.Converged || res.Rounds != 0 || res.Proposals != 0 {
+		t.Fatalf("entry-done run: %+v", res)
+	}
+	if *r != before {
+		t.Fatal("entry-done run consumed generator output")
+	}
+}
+
 func TestRunDirectedCycleToCompleteDigraph(t *testing.T) {
 	n := 8
 	g := gen.DirectedCycle(n)

@@ -1,0 +1,196 @@
+package gossipdisc
+
+// This file is the root package's resumable-session surface: re-exports of
+// the engine sessions plus a functional-options constructor, so callers can
+// write
+//
+//	sess := gossipdisc.NewSession(g,
+//	    gossipdisc.WithWorkers(8),
+//	    gossipdisc.WithDeltaObserver(traj.ObserveDelta),
+//	    gossipdisc.WithMaxRounds(10_000),
+//	)
+//	defer sess.Close()
+//	for {
+//	    delta, more := sess.Step()
+//	    // inspect delta, mutate membership, checkpoint, ...
+//	    if !more {
+//	        break
+//	    }
+//	}
+//
+// instead of threading a Config struct through. The fire-and-forget Run*
+// helpers remain and are thin wrappers over the same sessions, bit-identical
+// to driving a session manually (see DESIGN.md "Session lifecycle").
+
+import (
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+// Session types (see internal/sim/session.go for the full lifecycle,
+// determinism, and mutation contracts).
+type (
+	// Session is a resumable undirected run: Step / Run / RunUntil drive
+	// it, Round / EdgesRemaining / Stats read progress in O(1), and
+	// TrackMembership / InsertNode / RemoveNode / AddEdge mutate the
+	// membership between steps with O(1) Coverage.
+	Session = sim.Session
+	// DirectedSession is the directed counterpart, with the O(1)
+	// ClosureArcsRemaining progress accessor.
+	DirectedSession = sim.DirectedSession
+	// AsyncSession steps the asynchronous-scheduler ablation one parallel
+	// round (n ticks) at a time.
+	AsyncSession = sim.AsyncSession
+)
+
+// SessionOption configures NewSession / NewDirectedSession. Options that
+// only apply to one session family are silently ignored by the other
+// (e.g. WithDone by a directed session).
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	r     *rng.Rand
+	proc  Process
+	dproc DirectedProcess
+	cfg   sim.Config
+	dcfg  sim.DirectedConfig
+}
+
+// WithProcess selects the undirected process (default Push).
+func WithProcess(p Process) SessionOption {
+	return func(o *sessionOptions) { o.proc = p }
+}
+
+// WithDirectedProcess selects the directed process (default DirectedTwoHop).
+func WithDirectedProcess(p DirectedProcess) SessionOption {
+	return func(o *sessionOptions) { o.dproc = p }
+}
+
+// WithSeed seeds the session's deterministic generator (default seed 1).
+func WithSeed(seed uint64) SessionOption {
+	return func(o *sessionOptions) { o.r = rng.New(seed) }
+}
+
+// WithRand hands the session an existing generator — e.g. a Split child —
+// overriding WithSeed.
+func WithRand(r *Rand) SessionOption {
+	return func(o *sessionOptions) { o.r = r }
+}
+
+// WithWorkers selects the round engine: 0 (default) the classic sequential
+// engine, w >= 1 the sharded engine with results bit-identical for every
+// w >= 1. Sessions with w > 1 park worker goroutines between steps —
+// Close releases them.
+func WithWorkers(w int) SessionOption {
+	return func(o *sessionOptions) { o.cfg.Workers = w; o.dcfg.Workers = w }
+}
+
+// WithMaxRounds caps the session's round budget: 0 (default) selects the
+// generous w.h.p.-safe default, negative means unbounded (open-ended
+// stepping, e.g. under churn).
+func WithMaxRounds(n int) SessionOption {
+	return func(o *sessionOptions) { o.cfg.MaxRounds = n; o.dcfg.MaxRounds = n }
+}
+
+// WithCommitMode selects the commit semantics (default CommitSynchronous;
+// CommitEager is the ablation and ignores WithWorkers).
+func WithCommitMode(m CommitMode) SessionOption {
+	return func(o *sessionOptions) { o.cfg.Mode = m; o.dcfg.Mode = m }
+}
+
+// WithDone overrides the undirected convergence predicate (default: the
+// graph is complete).
+func WithDone(pred func(g *Graph) bool) SessionOption {
+	return func(o *sessionOptions) { o.cfg.Done = pred }
+}
+
+// WithDirectedDone overrides the directed termination predicate (default:
+// the graph contains the transitive closure of the initial graph).
+func WithDirectedDone(pred func(g *Digraph) bool) SessionOption {
+	return func(o *sessionOptions) { o.dcfg.Done = pred }
+}
+
+// WithObserver attaches a legacy per-round snapshot observer.
+func WithObserver(fn func(round int, g *Graph)) SessionOption {
+	return func(o *sessionOptions) { o.cfg.Observer = fn }
+}
+
+// WithDirectedObserver attaches a directed per-round snapshot observer.
+func WithDirectedObserver(fn func(round int, g *Digraph)) SessionOption {
+	return func(o *sessionOptions) { o.dcfg.Observer = fn }
+}
+
+// WithDeltaObserver attaches a streaming delta observer (the delta and its
+// slices are reused across rounds — copy anything retained).
+func WithDeltaObserver(fn func(g *Graph, d *RoundDelta)) SessionOption {
+	return func(o *sessionOptions) { o.cfg.DeltaObserver = fn }
+}
+
+// WithDirectedDeltaObserver attaches a directed streaming delta observer.
+func WithDirectedDeltaObserver(fn func(g *Digraph, d *DirectedRoundDelta)) SessionOption {
+	return func(o *sessionOptions) { o.dcfg.DeltaObserver = fn }
+}
+
+func applyOptions(opts []SessionOption) *sessionOptions {
+	o := &sessionOptions{
+		proc:  core.Push{},
+		dproc: core.DirectedTwoHop{},
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.r == nil {
+		o.r = rng.New(1)
+	}
+	return o
+}
+
+// NewSession constructs a resumable session over g with the given options
+// (process, seed, engine, observers, budget). The zero-option call runs
+// Push from seed 1 on the sequential engine. Callers that set
+// WithWorkers(w) with w > 1 should defer sess.Close() to release the
+// parked worker goroutines.
+func NewSession(g *Graph, opts ...SessionOption) *Session {
+	o := applyOptions(opts)
+	return sim.NewSession(g, o.proc, o.r, o.cfg)
+}
+
+// NewDirectedSession constructs a resumable directed session over g; the
+// zero-option call runs DirectedTwoHop from seed 1.
+func NewDirectedSession(g *Digraph, opts ...SessionOption) *DirectedSession {
+	o := applyOptions(opts)
+	return sim.NewDirectedSession(g, o.dproc, o.r, o.dcfg)
+}
+
+// NewAsyncSession constructs a resumable asynchronous session over g. Only
+// the process, seed/rand, Done, and delta-observer options apply; the tick
+// budget follows MaxRounds × n when WithMaxRounds is set (negative keeps
+// meaning unbounded).
+func NewAsyncSession(g *Graph, opts ...SessionOption) *AsyncSession {
+	o := applyOptions(opts)
+	acfg := sim.AsyncConfig{
+		Done:          o.cfg.Done,
+		DeltaObserver: o.cfg.DeltaObserver,
+	}
+	if o.cfg.MaxRounds > 0 {
+		acfg.MaxTicks = o.cfg.MaxRounds * g.N()
+	} else if o.cfg.MaxRounds < 0 {
+		acfg.MaxTicks = -1
+	}
+	return sim.NewAsyncSession(g, o.proc, o.r, acfg)
+}
+
+// Cross-trial aggregation (see internal/sim/aggregate.go): TrialsAggregate
+// runs trials exactly as Trials does while streaming per-round cross-trial
+// aggregates from the delta pipeline.
+type RoundAggregate = sim.RoundAggregate
+
+// TrialsAggregate runs numTrials independent deterministic trials of p and
+// returns both the per-trial results (bit-identical to Trials) and the
+// streamed per-round cross-trial aggregates (mean/CI95 minimum degree,
+// dissemination rate, mean edge fraction) without storing any per-trial
+// snapshot series.
+func TrialsAggregate(numTrials int, seed uint64, build func(trial int, r *Rand) *Graph, p Process) ([]Result, []RoundAggregate) {
+	return sim.TrialsAggregate(numTrials, seed, build, p, sim.Config{})
+}
