@@ -40,6 +40,7 @@ func main() {
 		roundsBudget = flag.Int("rounds", 0, "stop each trial after this many rounds even if not converged (0 = run to convergence)")
 		traceAt      = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off; trial 0 is driven step-wise through the session API)")
 		failProb     = flag.Float64("fail", 0, "connection failure probability (0..1)")
+		dense        = flag.Float64("dense", 0, "dense-phase threshold fraction in (0,1]: sample missing edges once remaining work drops below this fraction (0 = off; -mode sync only)")
 		list         = flag.Bool("list", false, "list workload families and exit")
 	)
 	flag.Parse()
@@ -54,16 +55,22 @@ func main() {
 		return
 	}
 
+	opts := &options{
+		process: *process, family: *family, dfamily: *dfamily, mode: *mode,
+		n: *n, trials: *trials, seed: *seed, workers: *workers,
+		rounds: *roundsBudget, traceAt: *traceAt, fail: *failProb, dense: *dense,
+	}
+	if err := opts.validate(); err != nil {
+		fatalf("%v", err)
+	}
+
 	commit := sim.CommitSynchronous
 	async := false
 	switch *mode {
-	case "sync":
 	case "eager":
 		commit = sim.CommitEager
 	case "async":
 		async = true
-	default:
-		fatalf("unknown -mode %q (want sync, eager or async)", *mode)
 	}
 
 	if *workers < 0 {
@@ -73,12 +80,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gossipsim: note: -workers applies only to -mode sync; the %s scheduler is inherently sequential\n", *mode)
 		*workers = 0
 	}
+	if *dense > 0 && *mode != "sync" {
+		fmt.Fprintf(os.Stderr, "gossipsim: note: -dense applies only to -mode sync\n")
+		*dense = 0
+	}
 
 	if *process == "directed" {
-		if async {
-			fatalf("-mode async is only implemented for undirected processes")
-		}
-		runDirected(*dfamily, *n, *trials, *seed, commit, *workers, *roundsBudget)
+		runDirected(*dfamily, *n, *trials, *seed, commit, *workers, *roundsBudget, *dense)
 		return
 	}
 
@@ -90,8 +98,6 @@ func main() {
 		proc = core.Pull{}
 	case "push-pull":
 		proc = core.PushPull{}
-	default:
-		fatalf("unknown -process %q (want push, pull, push-pull or directed)", *process)
 	}
 	if *failProb > 0 {
 		proc = core.Faulty{Inner: proc, FailProb: *failProb}
@@ -133,7 +139,7 @@ func main() {
 				trace.I(res.Proposals-res.NewEdges))
 			continue
 		}
-		cfg := sim.Config{Mode: commit, Workers: *workers, MaxRounds: *roundsBudget}
+		cfg := sim.Config{Mode: commit, Workers: *workers, MaxRounds: *roundsBudget, DensePhase: *dense}
 		var res sim.Result
 		if *traceAt > 0 && t == 0 {
 			// Trial 0 is driven step-wise through the session API: the
@@ -188,7 +194,7 @@ func main() {
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 
-func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int) {
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64) {
 	fam, err := gen.DirectedFamilyByName(family)
 	if err != nil {
 		fatalf("%v", err)
@@ -206,7 +212,7 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 		r := root.Split()
 		var g *graph.Directed = fam.Generate(n, r)
 		res := sim.RunDirected(g, core.DirectedTwoHop{}, r,
-			sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget})
+			sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget, DensePhase: dense})
 		if !res.Converged && budget == 0 {
 			fatalf("trial %d did not converge", t)
 		}

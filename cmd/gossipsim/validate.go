@@ -1,0 +1,68 @@
+package main
+
+import "fmt"
+
+// options collects every flag value gossipsim accepts, so input validation
+// is one pure function that table-driven tests can drive directly instead
+// of relying on incidental downstream behavior (a negative -rounds used to
+// silently select the default budget, a negative -workers silently meant
+// GOMAXPROCS for every value, and bad -fail probabilities sailed through).
+type options struct {
+	process string
+	family  string
+	dfamily string
+	mode    string
+	n       int
+	trials  int
+	seed    uint64
+	workers int
+	rounds  int
+	traceAt int
+	fail    float64
+	dense   float64
+}
+
+// validate reports the first nonsensical option, or nil. Workload-family
+// existence and per-family minimum sizes are checked later against the
+// registry (which owns those constraints); everything checked here is a
+// property of the flag values alone.
+func (o *options) validate() error {
+	switch o.process {
+	case "push", "pull", "push-pull", "directed":
+	default:
+		return fmt.Errorf("unknown -process %q (want push, pull, push-pull or directed)", o.process)
+	}
+	switch o.mode {
+	case "sync", "eager", "async":
+	default:
+		return fmt.Errorf("unknown -mode %q (want sync, eager or async)", o.mode)
+	}
+	if o.process == "directed" && o.mode == "async" {
+		return fmt.Errorf("-mode async is only implemented for undirected processes")
+	}
+	if o.n < 1 {
+		return fmt.Errorf("-n must be at least 1 (got %d)", o.n)
+	}
+	if o.trials < 1 {
+		return fmt.Errorf("-trials must be at least 1 (got %d)", o.trials)
+	}
+	if o.workers < -1 {
+		return fmt.Errorf("-workers must be >= -1 (-1 = GOMAXPROCS, 0 = sequential engine; got %d)", o.workers)
+	}
+	if o.rounds < 0 {
+		return fmt.Errorf("-rounds must be >= 0 (0 = run to convergence; got %d)", o.rounds)
+	}
+	if o.traceAt < 0 {
+		return fmt.Errorf("-trace must be >= 0 (0 = off; got %d)", o.traceAt)
+	}
+	if o.fail < 0 || o.fail > 1 {
+		return fmt.Errorf("-fail must be a probability in [0, 1] (got %v)", o.fail)
+	}
+	if o.dense < 0 || o.dense > 1 {
+		return fmt.Errorf("-dense must be a fraction in [0, 1] (got %v)", o.dense)
+	}
+	if o.dense > 0 && o.fail > 0 {
+		return fmt.Errorf("-dense cannot be combined with -fail: dense rounds sample missing edges directly and bypass the process (and its failure model)")
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// good returns a fully valid option set; cases mutate one field at a time.
+func good() options {
+	return options{
+		process: "push", family: "cycle", dfamily: "strong-random", mode: "sync",
+		n: 64, trials: 1, seed: 1, workers: 0, rounds: 0, traceAt: 0, fail: 0, dense: 0,
+	}
+}
+
+func TestValidateOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // empty = must pass
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"directed sync", func(o *options) { o.process = "directed" }, ""},
+		{"async undirected", func(o *options) { o.mode = "async" }, ""},
+		{"workers GOMAXPROCS sentinel", func(o *options) { o.workers = -1 }, ""},
+		{"workers sharded", func(o *options) { o.workers = 8 }, ""},
+		{"dense fraction", func(o *options) { o.dense = 0.25 }, ""},
+		{"dense full", func(o *options) { o.dense = 1 }, ""},
+		{"fail probability", func(o *options) { o.fail = 0.5 }, ""},
+		{"n of one", func(o *options) { o.n = 1 }, ""},
+
+		{"unknown process", func(o *options) { o.process = "teleport" }, "-process"},
+		{"unknown mode", func(o *options) { o.mode = "turbo" }, "-mode"},
+		{"directed async", func(o *options) { o.process = "directed"; o.mode = "async" }, "async"},
+		{"zero n", func(o *options) { o.n = 0 }, "-n"},
+		{"negative n", func(o *options) { o.n = -5 }, "-n"},
+		{"zero trials", func(o *options) { o.trials = 0 }, "-trials"},
+		{"negative trials", func(o *options) { o.trials = -1 }, "-trials"},
+		{"workers below sentinel", func(o *options) { o.workers = -2 }, "-workers"},
+		{"negative rounds", func(o *options) { o.rounds = -1 }, "-rounds"},
+		{"negative trace", func(o *options) { o.traceAt = -3 }, "-trace"},
+		{"fail above one", func(o *options) { o.fail = 1.5 }, "-fail"},
+		{"negative fail", func(o *options) { o.fail = -0.1 }, "-fail"},
+		{"dense above one", func(o *options) { o.dense = 1.01 }, "-dense"},
+		{"negative dense", func(o *options) { o.dense = -0.5 }, "-dense"},
+		{"dense with fail", func(o *options) { o.dense = 0.3; o.fail = 0.4 }, "-dense"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := good()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

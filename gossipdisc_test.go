@@ -242,3 +242,36 @@ func TestRunDirectedParallelFacade(t *testing.T) {
 		t.Fatalf("RunDirectedParallel not worker-count invariant: %+v vs %+v", res, base)
 	}
 }
+
+func TestWithDensePhaseOption(t *testing.T) {
+	// The option must reach both session families and reproduce the
+	// internal config path bit for bit.
+	g1 := gossipdisc.Cycle(96)
+	s := gossipdisc.NewSession(g1,
+		gossipdisc.WithSeed(5),
+		gossipdisc.WithWorkers(2),
+		gossipdisc.WithDensePhase(0.5),
+	)
+	defer s.Close()
+	res := s.Run()
+	if !res.Converged || !g1.IsComplete() {
+		t.Fatalf("dense session did not complete: %+v", res)
+	}
+	g2 := gossipdisc.Cycle(96)
+	want := gossipdisc.RunWithConfig(g2, gossipdisc.Push{}, 5,
+		gossipdisc.Config{Workers: 2, DensePhase: 0.5})
+	if res != want {
+		t.Fatalf("option path %+v != config path %+v", res, want)
+	}
+
+	d := gossipdisc.NewDigraph(24)
+	for u := 0; u < 24; u++ {
+		d.AddArc(u, (u+1)%24)
+	}
+	ds := gossipdisc.NewDirectedSession(d, gossipdisc.WithSeed(6), gossipdisc.WithDensePhase(0.5))
+	defer ds.Close()
+	dres := ds.Run()
+	if !dres.Converged || ds.ClosureArcsRemaining() != 0 {
+		t.Fatalf("dense directed session did not close: %+v", dres)
+	}
+}

@@ -202,6 +202,135 @@ func (s *Set) Slice() []int {
 	return out
 }
 
+// ForEachClear calls fn for every clear bit in [0, Len()) in increasing
+// order — the inverted-row iterator the dense-phase complement tracking is
+// built on: a graph row's clear bits are exactly the node's missing
+// neighbors (plus the node itself).
+func (s *Set) ForEachClear(fn func(i int)) {
+	for wi, w := range s.words {
+		inv := ^w
+		if wi == len(s.words)-1 && s.n%wordBits != 0 {
+			inv &= (1 << (uint(s.n) % wordBits)) - 1
+		}
+		for inv != 0 {
+			b := bits.TrailingZeros64(inv)
+			fn(wi*wordBits + b)
+			inv &= inv - 1
+		}
+	}
+}
+
+// nthSetBit returns the index (0-63) of the k-th set bit of w. The caller
+// guarantees k < OnesCount64(w).
+func nthSetBit(w uint64, k int) int {
+	for ; k > 0; k-- {
+		w &= w - 1
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// Rank returns the number of set bits in [0, i). Arguments outside the
+// universe are clamped, so Rank(Len()) == Count().
+func (s *Set) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > s.n {
+		i = s.n
+	}
+	wi := i / wordBits
+	c := 0
+	for j := 0; j < wi; j++ {
+		c += bits.OnesCount64(s.words[j])
+	}
+	if rem := uint(i) % wordBits; rem != 0 {
+		c += bits.OnesCount64(s.words[wi] & ((1 << rem) - 1))
+	}
+	return c
+}
+
+// SelectClear returns the index of the k-th (0-based) clear bit in
+// [0, Len()), or -1 if fewer than k+1 bits are clear. Together with a
+// per-row missing counter this is the complement row's uniform sampler:
+// draw k, select the k-th clear bit, all in O(Len()/64).
+func (s *Set) SelectClear(k int) int {
+	if k < 0 {
+		return -1
+	}
+	for wi, w := range s.words {
+		inv := ^w
+		if wi == len(s.words)-1 && s.n%wordBits != 0 {
+			inv &= (1 << (uint(s.n) % wordBits)) - 1
+		}
+		c := bits.OnesCount64(inv)
+		if k < c {
+			return wi*wordBits + nthSetBit(inv, k)
+		}
+		k -= c
+	}
+	return -1
+}
+
+// SelectDiff returns the index of the k-th (0-based) set bit of s &^ other,
+// or -1 if the difference has fewer than k+1 bits. The sets must have equal
+// capacity. This is the directed dense phase's sampler: the k-th closure
+// arc of a row still missing from the graph, without materializing the
+// difference.
+func (s *Set) SelectDiff(other *Set, k int) int {
+	s.mustMatch(other)
+	if k < 0 {
+		return -1
+	}
+	for wi, w := range s.words {
+		d := w &^ other.words[wi]
+		c := bits.OnesCount64(d)
+		if k < c {
+			return wi*wordBits + nthSetBit(d, k)
+		}
+		k -= c
+	}
+	return -1
+}
+
+// DiffCount returns the number of set bits of s &^ other without
+// materializing the difference. The sets must have equal capacity.
+func (s *Set) DiffCount(other *Set) int {
+	s.mustMatch(other)
+	c := 0
+	for wi, w := range s.words {
+		c += bits.OnesCount64(w &^ other.words[wi])
+	}
+	return c
+}
+
+// NextClear returns the index of the first clear bit at or after i in
+// [0, Len()), or -1.
+func (s *Set) NextClear(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := ^s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		if cand := i + bits.TrailingZeros64(w); cand < s.n {
+			return cand
+		}
+		return -1
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if inv := ^s.words[wi]; inv != 0 {
+			if cand := wi*wordBits + bits.TrailingZeros64(inv); cand < s.n {
+				return cand
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
 // NextSet returns the index of the first set bit at or after i, or -1.
 func (s *Set) NextSet(i int) int {
 	if i < 0 {

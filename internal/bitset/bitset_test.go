@@ -298,3 +298,145 @@ func TestWordOpsAgainstSet(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// clearSlice returns the clear bits of s in increasing order, brute force.
+func clearSlice(s *Set) []int {
+	out := []int{}
+	for i := 0; i < s.Len(); i++ {
+		if !s.Test(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestForEachClearSelectClearNextClear(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 200} {
+		s := New(n)
+		// A mix of sparse and word-boundary bits.
+		for _, i := range []int{0, 1, 62, 63, 64, 65, 127, 128, 129, 190} {
+			if i < n {
+				s.Set(i)
+			}
+		}
+		want := clearSlice(s)
+
+		var got []int
+		s.ForEachClear(func(i int) { got = append(got, i) })
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: ForEachClear visited %d bits want %d", n, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d: ForEachClear[%d] = %d want %d", n, k, got[k], want[k])
+			}
+			if sel := s.SelectClear(k); sel != want[k] {
+				t.Fatalf("n=%d: SelectClear(%d) = %d want %d", n, k, sel, want[k])
+			}
+		}
+		if s.SelectClear(len(want)) != -1 || s.SelectClear(-1) != -1 {
+			t.Fatalf("n=%d: SelectClear out of range did not return -1", n)
+		}
+
+		// NextClear agrees with the brute-force scan from every start.
+		for i := -1; i <= n; i++ {
+			want := -1
+			for j := i; j < n; j++ {
+				if j >= 0 && !s.Test(j) {
+					want = j
+					break
+				}
+			}
+			if got := s.NextClear(i); got != want {
+				t.Fatalf("n=%d: NextClear(%d) = %d want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestNextClearIgnoresTailBits(t *testing.T) {
+	// A 65-bit universe whose every in-universe bit is set: the clear bits
+	// of the final partial word lie beyond the universe and must be ignored.
+	s := New(65)
+	s.Fill()
+	if got := s.NextClear(0); got != -1 {
+		t.Fatalf("NextClear over a full set = %d want -1", got)
+	}
+	if got := s.SelectClear(0); got != -1 {
+		t.Fatalf("SelectClear over a full set = %d want -1", got)
+	}
+	s.ForEachClear(func(i int) { t.Fatalf("ForEachClear visited %d on a full set", i) })
+}
+
+func TestRank(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 5, 63, 64, 100, 199} {
+		s.Set(i)
+	}
+	for i := -1; i <= 201; i++ {
+		want := 0
+		for j := 0; j < i && j < 200; j++ {
+			if s.Test(j) {
+				want++
+			}
+		}
+		if got := s.Rank(i); got != want {
+			t.Fatalf("Rank(%d) = %d want %d", i, got, want)
+		}
+	}
+	if s.Rank(s.Len()) != s.Count() {
+		t.Fatal("Rank(Len) != Count")
+	}
+}
+
+func TestSelectDiffDiffCount(t *testing.T) {
+	a, b := New(130), New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		a.Set(i)
+	}
+	for _, i := range []int{1, 64, 129, 80} {
+		b.Set(i)
+	}
+	want := []int{}
+	for i := 0; i < 130; i++ {
+		if a.Test(i) && !b.Test(i) {
+			want = append(want, i)
+		}
+	}
+	if got := a.DiffCount(b); got != len(want) {
+		t.Fatalf("DiffCount = %d want %d", got, len(want))
+	}
+	for k, w := range want {
+		if got := a.SelectDiff(b, k); got != w {
+			t.Fatalf("SelectDiff(%d) = %d want %d", k, got, w)
+		}
+	}
+	if a.SelectDiff(b, len(want)) != -1 || a.SelectDiff(b, -1) != -1 {
+		t.Fatal("SelectDiff out of range did not return -1")
+	}
+}
+
+func TestQuickComplementViews(t *testing.T) {
+	// Property: for random sets, Count + clear count == n, and
+	// SelectClear(Rank-style index) enumerates exactly the complement.
+	f := func(seed uint64, raw []byte) bool {
+		n := int(seed%257) + 1
+		s := New(n)
+		for _, b := range raw {
+			s.Set(int(b) % n)
+		}
+		clear := clearSlice(s)
+		if s.Count()+len(clear) != n {
+			return false
+		}
+		for k, w := range clear {
+			if s.SelectClear(k) != w {
+				return false
+			}
+		}
+		return s.SelectClear(len(clear)) == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -175,6 +175,13 @@ func (s *Session) churnOnce() {
 // session's incrementally maintained counts — O(1), no graph scan.
 func (s *Session) Coverage() float64 { return s.es.Coverage() }
 
+// MemberEdgesRemaining returns the number of unordered current-member
+// pairs not yet adjacent — the work the gossip still has to do for full
+// coverage. Pairs involving departed slots are excluded: a departed
+// identity is not outstanding work (earlier releases counted every pair
+// over all capacity slots, which never reached zero under churn). O(1).
+func (s *Session) MemberEdgesRemaining() int { return s.es.MemberEdgesRemaining() }
+
 // Run executes rounds steps and returns the coverage after each step.
 func (s *Session) Run(rounds int) []float64 {
 	out := make([]float64, rounds)

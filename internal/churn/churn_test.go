@@ -245,3 +245,56 @@ func mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// TestMemberEdgesRemainingExcludesDeparted is the membership-accounting
+// regression test: the remaining-work count a churn consumer reads must
+// cover only current-member pairs. Before the fix it was the complement
+// over all capacity slots, so departed (and never-used) slots inflated it
+// and it could never reach zero.
+func TestMemberEdgesRemainingExcludesDeparted(t *testing.T) {
+	cfg := base()
+	cfg.Rate = 2
+	s := NewSession(cfg, rng.New(7))
+	for i := 0; i < 40; i++ {
+		s.Step()
+		members, edges := 0, 0
+		g := s.Graph()
+		for u := 0; u < cfg.Capacity; u++ {
+			if !s.Alive(u) {
+				continue
+			}
+			members++
+			for v := u + 1; v < cfg.Capacity; v++ {
+				if s.Alive(v) && g.HasEdge(u, v) {
+					edges++
+				}
+			}
+		}
+		want := members*(members-1)/2 - edges
+		if got := s.MemberEdgesRemaining(); got != want {
+			t.Fatalf("round %d: MemberEdgesRemaining %d want %d (graph-wide complement %d)",
+				s.Round(), got, want, g.MissingEdges())
+		}
+		// The graph-wide complement counts pairs on departed and unused
+		// slots; with churn active it must exceed the member-pair count.
+		if s.Round() > 5 && s.MemberEdgesRemaining() >= g.MissingEdges() {
+			t.Fatalf("round %d: member count %d not below slot-wide %d",
+				s.Round(), s.MemberEdgesRemaining(), g.MissingEdges())
+		}
+	}
+	// A churn-free session drives member remaining to zero even though the
+	// slot-wide complement stays huge — the number a consumer should gate on.
+	quiet := NewSession(base(), rng.New(3))
+	for i := 0; i < 2000 && quiet.MemberEdgesRemaining() > 0; i++ {
+		quiet.Step()
+	}
+	if quiet.MemberEdgesRemaining() != 0 {
+		t.Fatalf("churn-free session never closed its member pairs: %d left", quiet.MemberEdgesRemaining())
+	}
+	if quiet.Coverage() != 1 {
+		t.Fatalf("coverage %v with zero member pairs remaining", quiet.Coverage())
+	}
+	if quiet.Graph().MissingEdges() == 0 {
+		t.Fatal("slot-wide complement unexpectedly zero (test premise broken)")
+	}
+}

@@ -128,6 +128,42 @@ func (g *Directed) InDegree(u int) int {
 	return g.in[u]
 }
 
+// MissingOutDegree returns the number of nodes u has no arc toward
+// (excluding u itself) in O(1). As with Undirected.MissingDegree, the
+// counter rides the commit paths: every accepted arc grows u's out-list,
+// so the missing count is n-1-OutDegree(u) at all times.
+func (g *Directed) MissingOutDegree(u int) int {
+	g.checkNode(u)
+	return g.n - 1 - len(g.out[u])
+}
+
+// MissingOutNeighbor returns the k-th (0-based, increasing node order) node
+// u has no arc toward, excluding u itself. It panics if k is out of
+// [0, MissingOutDegree(u)). Cost is O(n/64).
+func (g *Directed) MissingOutNeighbor(u, k int) int {
+	g.checkNode(u)
+	if k < 0 || k >= g.MissingOutDegree(u) {
+		panic(fmt.Sprintf("graph: missing-out-neighbor index %d out of range [0,%d) for node %d",
+			k, g.MissingOutDegree(u), u))
+	}
+	clearBelowU := u - g.mat[u].Rank(u)
+	if k >= clearBelowU {
+		k++
+	}
+	return g.mat[u].SelectClear(k)
+}
+
+// ForEachMissingOut calls fn for every node u has no arc toward (excluding
+// u itself) in increasing node order.
+func (g *Directed) ForEachMissingOut(u int, fn func(v int)) {
+	g.checkNode(u)
+	g.mat[u].ForEachClear(func(v int) {
+		if v != u {
+			fn(v)
+		}
+	})
+}
+
 // RandomOutNeighbor returns a uniformly random out-neighbor of u, or -1 if u
 // has no out-neighbors.
 func (g *Directed) RandomOutNeighbor(u int, r *rng.Rand) int {

@@ -248,6 +248,59 @@ func (g *Undirected) MissingEdges() int {
 	return g.n*(g.n-1)/2 - g.m
 }
 
+// MissingDegree returns the number of nodes u is not yet adjacent to
+// (excluding u itself) in O(1). The counter is maintained by the commit
+// paths for free: every insertion grows u's adjacency list, so the missing
+// count is n-1-Degree(u) at all times. This is the per-node complement view
+// the dense-phase engine samples from, and it gives Done predicates an O(1)
+// "how far is u from knowing everyone" read.
+func (g *Undirected) MissingDegree(u int) int {
+	g.checkNode(u)
+	return g.n - 1 - len(g.adj[u])
+}
+
+// MissingNeighbor returns the k-th (0-based, increasing node order)
+// non-neighbor of u, excluding u itself. It panics if k is out of
+// [0, MissingDegree(u)). Cost is O(n/64): one rank plus one select over the
+// inverted bitset row.
+func (g *Undirected) MissingNeighbor(u, k int) int {
+	g.checkNode(u)
+	if k < 0 || k >= g.MissingDegree(u) {
+		panic(fmt.Sprintf("graph: missing-neighbor index %d out of range [0,%d) for node %d",
+			k, g.MissingDegree(u), u))
+	}
+	// The clear bits of u's row are its non-neighbors plus u itself (no
+	// self-loop is ever stored). Clear bits below u are unaffected; at u and
+	// beyond, skip u's own clear bit by shifting the select index once.
+	clearBelowU := u - g.mat[u].Rank(u)
+	if k >= clearBelowU {
+		k++
+	}
+	return g.mat[u].SelectClear(k)
+}
+
+// RandomMissingNeighbor returns a uniformly random node u is not adjacent
+// to (never u itself), or -1 if u already knows everyone.
+func (g *Undirected) RandomMissingNeighbor(u int, r *rng.Rand) int {
+	g.checkNode(u)
+	md := g.MissingDegree(u)
+	if md == 0 {
+		return -1
+	}
+	return g.MissingNeighbor(u, r.Intn(md))
+}
+
+// ForEachMissing calls fn for every non-neighbor of u (excluding u itself)
+// in increasing node order — the inverted-row iterator over u's complement.
+func (g *Undirected) ForEachMissing(u int, fn func(v int)) {
+	g.checkNode(u)
+	g.mat[u].ForEachClear(func(v int) {
+		if v != u {
+			fn(v)
+		}
+	})
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Undirected) Clone() *Undirected {
 	c := &Undirected{

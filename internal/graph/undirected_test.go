@@ -592,3 +592,119 @@ func TestAddEdgesGroupedOutOfRangePanics(t *testing.T) {
 	}()
 	g.AddEdgesGrouped([]Edge{{U: 1, V: 4}}, nil)
 }
+
+// bruteMissing returns u's non-neighbors (excluding u) in increasing order.
+func bruteMissing(g *Undirected, u int) []int {
+	out := []int{}
+	for v := 0; v < g.N(); v++ {
+		if v != u && !g.HasEdge(u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestMissingDegreeAndNeighbor(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{1, 2, 5, 64, 65, 100} {
+		g := NewUndirected(n)
+		// Random fill through both commit paths so the views stay consistent
+		// no matter which path inserted an edge.
+		var batch []Edge
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if i%2 == 0 {
+				g.AddEdge(u, v)
+			} else {
+				batch = append(batch, Edge{u, v})
+			}
+		}
+		g.AddEdges(batch)
+
+		totalMissing := 0
+		for u := 0; u < n; u++ {
+			want := bruteMissing(g, u)
+			if got := g.MissingDegree(u); got != len(want) {
+				t.Fatalf("n=%d u=%d: MissingDegree %d want %d", n, u, got, len(want))
+			}
+			totalMissing += len(want)
+			for k, w := range want {
+				if got := g.MissingNeighbor(u, k); got != w {
+					t.Fatalf("n=%d u=%d: MissingNeighbor(%d) = %d want %d", n, u, k, got, w)
+				}
+			}
+			var iter []int
+			g.ForEachMissing(u, func(v int) { iter = append(iter, v) })
+			if len(iter) != len(want) {
+				t.Fatalf("n=%d u=%d: ForEachMissing visited %d want %d", n, u, len(iter), len(want))
+			}
+			for k := range want {
+				if iter[k] != want[k] {
+					t.Fatalf("n=%d u=%d: ForEachMissing[%d] = %d want %d", n, u, k, iter[k], want[k])
+				}
+			}
+		}
+		// Handshake over the complement: each missing pair counted twice.
+		if totalMissing != 2*g.MissingEdges() {
+			t.Fatalf("n=%d: per-node missing sum %d != 2×MissingEdges %d", n, totalMissing, 2*g.MissingEdges())
+		}
+	}
+}
+
+func TestMissingNeighborPanicsOutOfRange(t *testing.T) {
+	g := pathGraph(5)
+	for _, f := range []func(){
+		func() { g.MissingNeighbor(0, -1) },
+		func() { g.MissingNeighbor(0, g.MissingDegree(0)) },
+		func() { g.MissingNeighbor(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomMissingNeighborUniform(t *testing.T) {
+	// Star center 0 on 6 nodes: node 1 misses exactly {2,3,4,5}.
+	g := NewUndirected(6)
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, v)
+	}
+	r := rng.New(3)
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		counts[g.RandomMissingNeighbor(1, r)]++
+	}
+	for v := 2; v < 6; v++ {
+		if c := counts[v]; c < 800 || c > 1200 {
+			t.Fatalf("missing neighbor %d drawn %d times out of 4000", v, c)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("drew unexpected nodes: %v", counts)
+	}
+	if completeGraph(3).RandomMissingNeighbor(0, r) != -1 {
+		t.Fatal("complete graph must have no missing neighbor")
+	}
+}
+
+func TestMissingViewsOnCompleteAndEmpty(t *testing.T) {
+	g := completeGraph(5)
+	for u := 0; u < 5; u++ {
+		if g.MissingDegree(u) != 0 {
+			t.Fatalf("complete graph node %d missing degree %d", u, g.MissingDegree(u))
+		}
+		g.ForEachMissing(u, func(v int) { t.Fatalf("complete graph has missing pair %d-%d", u, v) })
+	}
+	e := NewUndirected(4)
+	for u := 0; u < 4; u++ {
+		if e.MissingDegree(u) != 3 {
+			t.Fatalf("empty graph node %d missing degree %d", u, e.MissingDegree(u))
+		}
+	}
+}

@@ -39,8 +39,16 @@ type RoundDelta struct {
 	// this round (nonzero exactly for the nodes in Touched).
 	DegreeInc []int32
 	// EdgesRemaining is the number of node pairs still missing after the
-	// commit — 0 exactly when the graph is complete.
+	// commit — 0 exactly when the graph is complete. For sessions with
+	// membership tracking enabled it counts only pairs of current members
+	// (matching Session.EdgesRemaining): pairs involving departed nodes
+	// are not outstanding work.
 	EdgesRemaining int
+	// MissingDegree reports, in O(1), how many nodes u is not yet adjacent
+	// to (excluding u itself) — the per-node complement view, bound to the
+	// run's live graph at the first emitted round. Like the graph the
+	// observer receives, it reflects the post-commit state.
+	MissingDegree func(u int) int
 	// Joined / Left list the membership events applied through
 	// Session.InsertNode / Session.RemoveNode since the previous committed
 	// round, in application order. They are empty unless the run is a
@@ -73,6 +81,12 @@ type DirectedRoundDelta struct {
 	// transitive closure still missing after the commit — 0 exactly at
 	// termination. It is the engine's own O(1) progress counter.
 	ClosureArcsRemaining int
+	// MissingClosureDegree reports, in O(1), how many arcs of the initial
+	// graph's transitive closure node u is still missing toward — the
+	// per-node progress counter the directed dense phase samples from. It
+	// is bound to the emitting session at the first emitted round and
+	// reflects the post-commit state.
+	MissingClosureDegree func(u int) int
 }
 
 // deltaState owns an undirected run's reusable RoundDelta. It is allocated
@@ -100,6 +114,9 @@ func (ds *deltaState) emit(round int, g *graph.Undirected, accepted []graph.Edge
 // observer; sessions add their membership fields between fill and notify.
 func (ds *deltaState) fill(round int, g *graph.Undirected, accepted []graph.Edge) {
 	d := &ds.d
+	if d.MissingDegree == nil {
+		d.MissingDegree = g.MissingDegree // one-time bind; steady-state fills stay alloc-free
+	}
 	for _, u := range d.Touched {
 		d.DegreeInc[u] = 0
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gossipdisc/internal/bitset"
 	"gossipdisc/internal/core"
@@ -37,8 +38,20 @@ type DirectedSession struct {
 
 	// Closure target of the *initial* graph and the count of its arcs
 	// still missing — the engine's own O(1) termination/progress counter.
-	target  []*bitset.Set
-	missing int
+	// missingRow[u] is the per-node share (arcs of target[u] not yet in
+	// u's out-row); both are maintained by the commit paths, and the dense
+	// phase samples from missingRow.
+	target     []*bitset.Set
+	missing    int
+	missingRow []int32
+
+	// Dense-phase state, mirroring Session: armed when denseThreshold >= 0,
+	// active once the missing-closure count drops to the threshold.
+	// densePrefix is the sequential engine's prefix-sum scratch (shard
+	// calls scan their <= shardNodes range linearly instead).
+	denseThreshold int
+	dense          bool
+	densePrefix    []int
 
 	eng    *engine
 	engAct func(s *shard)
@@ -72,15 +85,24 @@ func NewDirectedSession(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, 
 		observer:      cfg.Observer,
 		deltaObserver: cfg.DeltaObserver,
 	}
+	if cfg.DensePhase < 0 || cfg.DensePhase > 1 {
+		panic(fmt.Sprintf("sim: DensePhase %v outside [0, 1]", cfg.DensePhase))
+	}
 	s.target = g.TransitiveClosure()
+	s.missingRow = make([]int32, g.N())
 	for u, row := range s.target {
 		s.res.TargetArcs += row.Count()
-		c := row.Clone()
-		c.DifferenceWith(g.OutRow(u))
-		s.missing += c.Count()
+		miss := row.DiffCount(g.OutRow(u))
+		s.missingRow[u] = int32(miss)
+		s.missing += miss
+	}
+	s.denseThreshold = -1
+	if cfg.DensePhase > 0 && cfg.Mode == CommitSynchronous {
+		s.denseThreshold = int(cfg.DensePhase * float64(s.res.TargetArcs))
 	}
 	if cfg.DeltaObserver != nil {
 		s.ds = newDirectedDeltaState(g.N(), cfg.DeltaObserver)
+		s.ds.d.MissingClosureDegree = s.MissingClosureDegree
 	}
 	return s
 }
@@ -101,6 +123,7 @@ func (s *DirectedSession) commitArc(a, b int) {
 		s.res.NewArcs++
 		if s.target[a].Test(b) {
 			s.missing--
+			s.missingRow[a]--
 		}
 		if s.ds != nil {
 			s.accepted = append(s.accepted, graph.Arc{U: a, V: b})
@@ -117,6 +140,10 @@ func (s *DirectedSession) dispatch() {
 	if s.mode == CommitSynchronous && s.workers >= 1 {
 		s.eng = newEngine(s.g.N(), s.workers, s.r)
 		s.engAct = func(sh *shard) {
+			if s.dense {
+				s.denseAct(sh.lo, sh.hi, sh.r, sh.proposeArc)
+				return
+			}
 			for u := sh.lo; u < sh.hi; u++ {
 				s.p.Act(s.g, u, sh.r, sh.proposeArc)
 			}
@@ -161,6 +188,10 @@ func (s *DirectedSession) step() bool {
 	if s.eng == nil && s.propose == nil {
 		s.dispatch()
 	}
+	if s.denseThreshold >= 0 && !s.dense && s.missing <= s.denseThreshold {
+		// One-way switch: the missing-closure count is non-increasing.
+		s.dense = true
+	}
 	round := s.res.Rounds + 1
 	s.buf, s.accepted = s.buf[:0], s.accepted[:0]
 
@@ -181,12 +212,17 @@ func (s *DirectedSession) step() bool {
 		for _, a := range acc {
 			if s.target[a.U].Test(a.V) {
 				s.missing--
+				s.missingRow[a.U]--
 			}
 		}
 	} else {
 		n := s.g.N()
-		for u := 0; u < n; u++ {
-			s.p.Act(s.g, u, s.r, s.propose)
+		if s.dense {
+			s.denseAct(0, n, s.r, s.propose)
+		} else {
+			for u := 0; u < n; u++ {
+				s.p.Act(s.g, u, s.r, s.propose)
+			}
 		}
 		if s.mode == CommitSynchronous {
 			s.accepted = s.g.AddArcsGrouped(s.buf, s.accepted)
@@ -195,6 +231,7 @@ func (s *DirectedSession) step() bool {
 			for _, a := range s.accepted {
 				if s.target[a.U].Test(a.V) {
 					s.missing--
+					s.missingRow[a.U]--
 				}
 			}
 		}
@@ -226,6 +263,7 @@ func (s *DirectedSession) step() bool {
 func (s *DirectedSession) Step() (d *DirectedRoundDelta, ok bool) {
 	if s.ds == nil {
 		s.ds = newDirectedDeltaState(s.g.N(), s.deltaObserver)
+		s.ds.d.MissingClosureDegree = s.MissingClosureDegree
 	}
 	before := s.res.Rounds
 	ok = s.step()
@@ -252,12 +290,84 @@ func (s *DirectedSession) RunUntil(pred func(g *graph.Directed) bool) DirectedRe
 	return s.res
 }
 
+// denseAct is the directed dense-phase act body for the node range
+// [lo, hi): instead of two-hop walks from every node — near closure almost
+// all of them land on known arcs — it samples up to hi-lo proposals from
+// the range's missing-closure incidences. A draw picks t uniform in
+// [0, Σ missingRow[u]), landing on node u with probability proportional to
+// its missing closure arcs and on the t'-th of them uniformly
+// (target[u] &^ out[u] selected without materializing the difference).
+// Every proposal is an arc of the initial graph's closure, so the closure
+// invariant the termination counter is built on is preserved. Ranges with
+// no missing closure arcs consume no generator output.
+func (s *DirectedSession) denseAct(lo, hi int, r *rng.Rand, propose func(a, b int)) {
+	// Draw-to-node lookup mirrors Session.denseAct: linear scan for shard
+	// ranges, prefix sums + binary search for the sequential engine's
+	// whole-graph range; both map t to the identical (u, t') pair.
+	width := hi - lo
+	var prefix []int
+	tot := 0
+	if width > shardNodes {
+		if cap(s.densePrefix) < width+1 {
+			s.densePrefix = make([]int, width+1)
+		}
+		prefix = s.densePrefix[:width+1]
+		prefix[0] = 0
+		for i := 0; i < width; i++ {
+			tot += int(s.missingRow[lo+i])
+			prefix[i+1] = tot
+		}
+	} else {
+		for u := lo; u < hi; u++ {
+			tot += int(s.missingRow[u])
+		}
+	}
+	if tot == 0 {
+		return
+	}
+	budget := width
+	if tot < budget {
+		budget = tot
+	}
+	for p := 0; p < budget; p++ {
+		t := r.Intn(tot)
+		var u int
+		if prefix != nil {
+			i := sort.Search(width, func(i int) bool { return prefix[i+1] > t })
+			u = lo + i
+			t -= prefix[i]
+		} else {
+			u = lo
+			for {
+				md := int(s.missingRow[u])
+				if t < md {
+					break
+				}
+				t -= md
+				u++
+			}
+		}
+		propose(u, s.target[u].SelectDiff(s.g.OutRow(u), t))
+	}
+}
+
+// InDensePhase reports whether the session has crossed its DensePhase
+// threshold and is sampling proposals from the missing-closure set.
+func (s *DirectedSession) InDensePhase() bool { return s.dense }
+
 // Round returns the number of committed rounds so far. O(1).
 func (s *DirectedSession) Round() int { return s.res.Rounds }
 
 // ClosureArcsRemaining returns the number of arcs of the initial graph's
 // transitive closure still missing — 0 exactly at closure. O(1).
 func (s *DirectedSession) ClosureArcsRemaining() int { return s.missing }
+
+// MissingClosureDegree returns the number of arcs of the initial graph's
+// transitive closure node u is still missing toward. O(1), maintained by
+// the commit paths.
+func (s *DirectedSession) MissingClosureDegree(u int) int {
+	return int(s.missingRow[u])
+}
 
 // Stats returns a snapshot of the cumulative run statistics. O(1).
 func (s *DirectedSession) Stats() DirectedResult { return s.res }

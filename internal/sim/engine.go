@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -76,7 +77,19 @@ type engine struct {
 // newEngine partitions [0, n) into shards, derives the per-shard streams by
 // sequential splits of root, and starts min(workers, len(shards)) parked
 // worker goroutines when workers > 1. Callers must stop() the engine.
+//
+// Degenerate inputs degrade cleanly rather than incidentally: a negative n
+// panics (a graph can never report one, so it is always a caller bug), and
+// n smaller than one shard — including n == 0 and n == 1 — yields a single
+// shard covering exactly [0, n) (empty for n == 0), which acts inline with
+// no worker goroutines. Worker counts below 1 are clamped to 1 and counts
+// above the shard count to the shard count; neither affects results, which
+// depend only on the shard layout and streams (TestNewEngineLayout pins
+// all of this).
 func newEngine(n, workers int, root *rng.Rand) *engine {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: newEngine with negative node count %d", n))
+	}
 	numShards := (n + shardNodes - 1) / shardNodes
 	if numShards < 1 {
 		numShards = 1

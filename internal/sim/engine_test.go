@@ -311,3 +311,79 @@ func TestEngineSteadyStateAllocsDirected(t *testing.T) {
 		}
 	}
 }
+
+// TestNewEngineLayout is the satellite table for degenerate engine inputs:
+// n smaller than one shard (including 0 and 1) must yield a single shard
+// covering exactly [0, n), worker counts outside [1, numShards] must clamp,
+// and a negative n must panic instead of building a nonsense layout.
+func TestNewEngineLayout(t *testing.T) {
+	cases := []struct {
+		name        string
+		n, workers  int
+		wantShards  int
+		wantWorkers int
+	}{
+		{"empty graph", 0, 4, 1, 1},
+		{"single node", 1, 4, 1, 1},
+		{"below one shard", 3, 16, 1, 1},
+		{"exactly one shard", 32, 2, 1, 1},
+		{"one past a shard", 33, 2, 2, 2},
+		{"many shards few workers", 256, 3, 8, 3},
+		{"workers above shards", 64, 100, 2, 2},
+		{"zero workers clamp", 96, 0, 3, 1},
+		{"negative workers clamp", 96, -7, 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEngine(tc.n, tc.workers, rng.New(1))
+			defer e.stop()
+			if len(e.shards) != tc.wantShards {
+				t.Fatalf("n=%d: %d shards want %d", tc.n, len(e.shards), tc.wantShards)
+			}
+			if e.workers != tc.wantWorkers {
+				t.Fatalf("n=%d workers=%d: engine workers %d want %d",
+					tc.n, tc.workers, e.workers, tc.wantWorkers)
+			}
+			// The shards partition [0, n) exactly: contiguous, non-overlapping,
+			// clamped to n, never negative-width.
+			next := 0
+			for i := range e.shards {
+				sh := &e.shards[i]
+				if sh.lo != next || sh.hi < sh.lo || sh.hi > tc.n && tc.n > 0 {
+					t.Fatalf("shard %d range [%d,%d) breaks the partition at %d", i, sh.lo, sh.hi, next)
+				}
+				if sh.r == nil {
+					t.Fatalf("shard %d has no stream", i)
+				}
+				next = sh.hi
+			}
+			if tc.n > 0 && next != tc.n {
+				t.Fatalf("shards cover [0,%d) want [0,%d)", next, tc.n)
+			}
+			if tc.n == 0 && (e.shards[0].lo != 0 || e.shards[0].hi != 0) {
+				t.Fatalf("empty graph shard is [%d,%d) want [0,0)", e.shards[0].lo, e.shards[0].hi)
+			}
+			// The layout acts cleanly: an act over the engine touches every
+			// node exactly once even on degenerate layouts.
+			seen := make([]int, tc.n)
+			e.actRound(func(sh *shard) {
+				for u := sh.lo; u < sh.hi; u++ {
+					seen[u]++
+				}
+			})
+			for u, c := range seen {
+				if c != 1 {
+					t.Fatalf("node %d acted %d times", u, c)
+				}
+			}
+		})
+	}
+	t.Run("negative n panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("newEngine(-1, ...) did not panic")
+			}
+		}()
+		newEngine(-1, 2, rng.New(1))
+	})
+}

@@ -121,6 +121,25 @@ type Config struct {
 	// results identical for every w >= 1 (see the package comment for the
 	// determinism contract). Ignored under CommitEager.
 	Workers int
+	// DensePhase, when in (0, 1], arms the dense-phase engine mode: once
+	// the number of missing node pairs drops to DensePhase × n(n-1)/2, the
+	// act phase switches from scanning all n nodes to sampling proposals
+	// from the complement graph — each draw picks a missing (node, partner)
+	// incidence uniformly (nodes are thereby weighted by their missing
+	// work) and proposes that exact missing edge, so late rounds spend time
+	// proportional to the work remaining instead of mostly proposing
+	// duplicates. Dense rounds bypass the Process entirely (its Act is
+	// never called, so wrappers such as core.Faulty stop applying once the
+	// phase flips) — the mode is an engine-level accelerator for
+	// convergence runs, not a re-expression of the process. 0 (the
+	// default) disables the mode and keeps every legacy result
+	// bit-identical; the dense trajectory is deterministic with its own
+	// goldens, and bit-identical for every Workers >= 1 (the dense act
+	// runs per shard on the shard's own stream). The switch is evaluated
+	// against the full graph (not the member subgraph) and, like Workers,
+	// applies only under CommitSynchronous; CommitEager ignores it. Values
+	// outside [0, 1] panic at session construction.
+	DensePhase float64
 	// Done, if non-nil, overrides the convergence predicate (default:
 	// graph is complete). It is evaluated after every round.
 	Done func(g *graph.Undirected) bool
@@ -189,6 +208,17 @@ type DirectedConfig struct {
 	Mode CommitMode
 	// Workers selects the round engine, exactly as Config.Workers.
 	Workers int
+	// DensePhase, when in (0, 1], arms the directed dense-phase mode: once
+	// the number of still-missing transitive-closure arcs drops to
+	// DensePhase × TargetArcs, the act phase samples missing closure arcs
+	// directly — a uniform draw over the per-node missing-closure
+	// incidences — instead of scanning all n nodes for two-hop walks.
+	// Dense proposals are always arcs of the initial graph's closure, so
+	// the closure invariant (and the termination counter built on it) is
+	// preserved. Semantics otherwise mirror Config.DensePhase: 0 disables,
+	// sync-only, bit-identical for every Workers >= 1, panics outside
+	// [0, 1].
+	DensePhase float64
 	// Done, if non-nil, overrides the termination predicate (default: the
 	// graph contains the transitive closure of the initial graph). It is
 	// evaluated after every round and honored by both engine families,

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
@@ -69,6 +70,19 @@ type Session struct {
 
 	res Result
 
+	// Dense-phase state. denseThreshold < 0 means the mode is disarmed;
+	// otherwise, once the graph's missing-pair count drops to the
+	// threshold, dense flips true and the act phase samples proposals from
+	// the complement graph instead of scanning all nodes (see
+	// Config.DensePhase). The flag is written only on the committing
+	// goroutine between rounds; workers observe it through the round
+	// fan-out's channel synchronization. densePrefix is the sequential
+	// engine's reusable prefix-sum scratch (never touched by shard calls,
+	// which run concurrently and scan their <= shardNodes range linearly).
+	denseThreshold int
+	dense          bool
+	densePrefix    []int
+
 	// Engine state. eng is non-nil only for sharded sessions (synchronous
 	// mode with Workers >= 1); engAct is the hoisted per-round shard action.
 	eng    *engine
@@ -116,16 +130,24 @@ func NewSession(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) *S
 	if done == nil {
 		done = (*graph.Undirected).IsComplete
 	}
+	if cfg.DensePhase < 0 || cfg.DensePhase > 1 {
+		panic(fmt.Sprintf("sim: DensePhase %v outside [0, 1]", cfg.DensePhase))
+	}
+	denseThreshold := -1
+	if cfg.DensePhase > 0 && cfg.Mode == CommitSynchronous {
+		denseThreshold = int(cfg.DensePhase * float64(g.N()*(g.N()-1)/2))
+	}
 	s := &Session{
-		g:             g,
-		p:             p,
-		r:             r,
-		mode:          cfg.Mode,
-		workers:       cfg.Workers,
-		maxRounds:     maxRounds,
-		done:          done,
-		observer:      cfg.Observer,
-		deltaObserver: cfg.DeltaObserver,
+		g:              g,
+		p:              p,
+		r:              r,
+		mode:           cfg.Mode,
+		workers:        cfg.Workers,
+		maxRounds:      maxRounds,
+		done:           done,
+		observer:       cfg.Observer,
+		deltaObserver:  cfg.DeltaObserver,
+		denseThreshold: denseThreshold,
 	}
 	if cfg.DeltaObserver != nil {
 		s.ds = newDeltaState(g.N(), cfg.DeltaObserver)
@@ -142,6 +164,10 @@ func (s *Session) dispatch() {
 	if s.mode == CommitSynchronous && s.workers >= 1 {
 		s.eng = newEngine(s.g.N(), s.workers, s.r)
 		s.engAct = func(sh *shard) {
+			if s.dense {
+				s.denseAct(sh.lo, sh.hi, sh.r, sh.proposeEdge)
+				return
+			}
 			for u := sh.lo; u < sh.hi; u++ {
 				s.p.Act(s.g, u, sh.r, sh.proposeEdge)
 			}
@@ -193,6 +219,11 @@ func (s *Session) step() bool {
 	if s.eng == nil && s.propose == nil {
 		s.dispatch()
 	}
+	if s.denseThreshold >= 0 && !s.dense && s.g.MissingEdges() <= s.denseThreshold {
+		// Crossing the density threshold is one-way: the graph only grows,
+		// so the missing-pair count never climbs back above it.
+		s.dense = true
+	}
 	round := s.res.Rounds + 1
 	s.buf, s.accepted = s.buf[:0], s.accepted[:0]
 
@@ -215,8 +246,12 @@ func (s *Session) step() bool {
 		s.res.DuplicateProposals += roundProposals - len(acc)
 	} else {
 		n := s.g.N()
-		for u := 0; u < n; u++ {
-			s.p.Act(s.g, u, s.r, s.propose)
+		if s.dense {
+			s.denseAct(0, n, s.r, s.propose)
+		} else {
+			for u := 0; u < n; u++ {
+				s.p.Act(s.g, u, s.r, s.propose)
+			}
 		}
 		if s.mode == CommitSynchronous {
 			s.accepted = s.g.AddEdgesGrouped(s.buf, s.accepted)
@@ -247,6 +282,12 @@ func (s *Session) step() bool {
 		d.Left = append(d.Left[:0], s.left...)
 		d.Members = s.members
 		d.MemberEdges = s.memberEdges
+		if s.alive != nil {
+			// Membership-aware remaining count: pairs involving departed
+			// nodes are not outstanding work, so churn consumers must not
+			// see them as "remaining" (they used to — see MemberEdgesRemaining).
+			d.EdgesRemaining = s.memberPairsMissing()
+		}
 		s.ds.notify(s.g)
 	}
 	s.joined, s.left = s.joined[:0], s.left[:0]
@@ -265,6 +306,84 @@ func (s *Session) step() bool {
 	}
 	return true
 }
+
+// denseAct is the dense-phase act body for the node range [lo, hi): the
+// whole range under the sequential engine, one shard under the sharded one
+// (each shard draws from its own stream, which is what keeps dense rounds
+// bit-identical for every Workers >= 1). Instead of letting every node
+// gossip — near convergence almost every such proposal is a duplicate — it
+// samples up to hi-lo proposals from the range's complement incidences:
+// a draw picks t uniform in [0, Σ MissingDegree(u)), which lands on node u
+// with probability proportional to u's missing work and on u's t'-th
+// missing partner w uniformly within it, and proposes exactly the missing
+// edge {u, w}. Every draw reads only the committed graph, so the act phase
+// stays read-only and scheduling-independent. Ranges (and whole rounds)
+// with no missing work consume no generator output. When membership
+// tracking is active, draws landing on a pair with a departed endpoint are
+// discarded — departed nodes neither gossip nor accept connections.
+func (s *Session) denseAct(lo, hi int, r *rng.Rand, propose func(a, b int)) {
+	// Locating a draw's node: shard calls cover at most shardNodes nodes
+	// and scan their missing degrees linearly; the sequential engine's
+	// whole-graph call builds prefix sums once per round and binary-
+	// searches each draw, keeping the round O(n + budget·(log n + n/64))
+	// instead of O(n·budget). Both map t to the identical (u, t') pair —
+	// the graph is read-only during the act — so the two lookups share
+	// one deterministic trajectory.
+	width := hi - lo
+	var prefix []int
+	tot := 0
+	if width > shardNodes {
+		if cap(s.densePrefix) < width+1 {
+			s.densePrefix = make([]int, width+1)
+		}
+		prefix = s.densePrefix[:width+1]
+		prefix[0] = 0
+		for i := 0; i < width; i++ {
+			tot += s.g.MissingDegree(lo + i)
+			prefix[i+1] = tot
+		}
+	} else {
+		for u := lo; u < hi; u++ {
+			tot += s.g.MissingDegree(u)
+		}
+	}
+	if tot == 0 {
+		return
+	}
+	budget := width
+	if tot < budget {
+		budget = tot
+	}
+	for p := 0; p < budget; p++ {
+		t := r.Intn(tot)
+		var u int
+		if prefix != nil {
+			i := sort.Search(width, func(i int) bool { return prefix[i+1] > t })
+			u = lo + i
+			t -= prefix[i]
+		} else {
+			u = lo
+			for {
+				md := s.g.MissingDegree(u)
+				if t < md {
+					break
+				}
+				t -= md
+				u++
+			}
+		}
+		w := s.g.MissingNeighbor(u, t)
+		if s.alive != nil && (!s.alive[u] || !s.alive[w]) {
+			continue
+		}
+		propose(u, w)
+	}
+}
+
+// InDensePhase reports whether the session has crossed its DensePhase
+// threshold and is sampling proposals from the complement graph. Always
+// false when the mode is disarmed.
+func (s *Session) InDensePhase() bool { return s.dense }
 
 // Step executes one committed round and returns its delta plus whether the
 // session can continue (false once Done fired or the budget is exhausted).
@@ -307,8 +426,39 @@ func (s *Session) RunUntil(pred func(g *graph.Undirected) bool) Result {
 // Round returns the number of committed rounds so far. O(1).
 func (s *Session) Round() int { return s.res.Rounds }
 
-// EdgesRemaining returns the number of node pairs still missing. O(1).
-func (s *Session) EdgesRemaining() int { return s.g.MissingEdges() }
+// EdgesRemaining returns the number of node pairs still missing, in O(1).
+// When membership tracking is active it counts only pairs of current
+// members — pairs involving departed nodes are not outstanding work and
+// are excluded (they used to be included, which made churn consumers chase
+// pairs no process could ever close). Without membership tracking it is
+// the plain complement count over all n nodes.
+func (s *Session) EdgesRemaining() int {
+	if s.alive != nil {
+		return s.memberPairsMissing()
+	}
+	return s.g.MissingEdges()
+}
+
+// MemberEdgesRemaining returns the number of unordered current-member
+// pairs not yet adjacent — the membership-aware "work remaining" count —
+// in O(1) from the incrementally maintained member counters. It panics if
+// membership tracking is off.
+func (s *Session) MemberEdgesRemaining() int {
+	if s.alive == nil {
+		panic("sim: MemberEdgesRemaining without TrackMembership")
+	}
+	return s.memberPairsMissing()
+}
+
+// memberPairsMissing is the membership-aware complement count:
+// C(members, 2) minus the alive-alive edge count.
+func (s *Session) memberPairsMissing() int {
+	return s.members*(s.members-1)/2 - s.memberEdges
+}
+
+// MissingDegree returns the number of nodes u is not yet adjacent to,
+// excluding u itself. O(1); see graph.Undirected.MissingDegree.
+func (s *Session) MissingDegree(u int) int { return s.g.MissingDegree(u) }
 
 // Stats returns a snapshot of the cumulative run statistics. O(1).
 func (s *Session) Stats() Result { return s.res }

@@ -6,8 +6,9 @@ package gossipdisc_test
 // the two are bit-identical in results, so any ns/op gap is pure engine
 // speedup. "legacy" is the classic single-stream sequential engine
 // (Workers: 0) for reference against the pre-sharding baseline. Baselines
-// are recorded in BENCH_pr1.json; CI runs -bench=BenchmarkScale
-// -benchtime=1x as a smoke test.
+// are recorded in BENCH_pr1.json; CI smokes every BenchmarkScale* suite at
+// -benchtime=1x (this one, trajectory, session/churn, and — in its own
+// step — the dense-phase suite).
 
 import (
 	"runtime"

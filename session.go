@@ -86,6 +86,24 @@ func WithWorkers(w int) SessionOption {
 	return func(o *sessionOptions) { o.cfg.Workers = w; o.dcfg.Workers = w }
 }
 
+// WithDensePhase arms the dense-phase engine mode with the given
+// threshold fraction in (0, 1]: once the remaining work (missing node
+// pairs, or missing closure arcs for a directed session) drops to frac of
+// its total, the act phase samples proposals directly from the complement —
+// nodes weighted by their missing work, partners uniform within each
+// node's missing set — so late rounds cost time proportional to the work
+// remaining instead of scanning all n nodes mostly to propose duplicates.
+// Dense rounds bypass the process entirely (wrappers such as Faulty stop
+// applying once the phase flips): the mode is an engine-level accelerator
+// for convergence runs, not a re-expression of the paper's process.
+// 0 (the default) disables the mode and keeps legacy results bit-identical;
+// when armed the trajectory is still deterministic, and bit-identical for
+// every worker count >= 1. Applies to synchronous commits only (the eager
+// ablation ignores it); fractions outside [0, 1] panic at construction.
+func WithDensePhase(frac float64) SessionOption {
+	return func(o *sessionOptions) { o.cfg.DensePhase = frac; o.dcfg.DensePhase = frac }
+}
+
 // WithMaxRounds caps the session's round budget: 0 (default) selects the
 // generous w.h.p.-safe default, negative means unbounded (open-ended
 // stepping, e.g. under churn).
