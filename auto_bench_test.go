@@ -1,0 +1,83 @@
+package gossipdisc_test
+
+// Autoscaling and parallel-trial-harness suite (baselines in
+// BENCH_pr5.json; CI smokes it at -benchtime=1x).
+//
+// BenchmarkScaleAuto* compares full-convergence push runs across worker
+// schedules: fixed1 (Workers 1, inline), fixedpar (Workers GOMAXPROCS),
+// auto (WorkersAuto), plus an oversubscription pair run under GOMAXPROCS 8
+// — fixed8 pins eight workers whether or not the box can feed them, auto8
+// lets the autoscaler find the sweet spot. All five variants produce
+// bit-identical results (TestAutoWorkersEquivalence*), so every ns/op gap
+// is pure scheduling. On a single-core box fixed8 pays the fan-out barrier
+// for nothing and auto8 scales back to inline rounds; on a many-core box
+// fixed8 and auto8 converge and fixed1 falls behind at large n.
+//
+// BenchmarkTrialsParallel* compares the multi-trial aggregate harness on a
+// strictly sequential trial pool (TrialsAggregateOn(1, ...)) against the
+// default GOMAXPROCS pool — byte-identical outputs, so the gap is pure
+// trial-level parallelism. This is the experiment suite's dominant shape
+// (E10/E16 run 12–100 trials per sweep point).
+
+import (
+	"runtime"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+func benchScaleAuto(b *testing.B, n int) {
+	run := func(b *testing.B, workers, procs int) {
+		if procs > 0 {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+		}
+		r := rng.New(uint64(n))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := gen.Cycle(n)
+			res := sim.Run(g, core.Push{}, r.Split(), sim.Config{Workers: workers})
+			if !res.Converged {
+				b.Fatal("run did not converge")
+			}
+		}
+	}
+	b.Run("fixed1", func(b *testing.B) { run(b, 1, 0) })
+	b.Run("fixedpar", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0), 0) })
+	b.Run("auto", func(b *testing.B) { run(b, sim.WorkersAuto, 0) })
+	b.Run("fixed8", func(b *testing.B) { run(b, 8, 8) })
+	b.Run("auto8", func(b *testing.B) { run(b, sim.WorkersAuto, 8) })
+}
+
+func BenchmarkScaleAuto512(b *testing.B)  { benchScaleAuto(b, 512) }
+func BenchmarkScaleAuto1024(b *testing.B) { benchScaleAuto(b, 1024) }
+func BenchmarkScaleAuto2048(b *testing.B) { benchScaleAuto(b, 2048) }
+
+func benchTrialsParallel(b *testing.B, numTrials, n int) {
+	build := func(trial int, r *rng.Rand) *graph.Undirected { return gen.Cycle(n) }
+	for _, bc := range []struct {
+		name string
+		pool int
+	}{
+		{"seq", 1},
+		{"par", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, agg := sim.TrialsAggregateOn(bc.pool, numTrials, uint64(n)+uint64(i),
+					build, core.Push{}, sim.Config{})
+				if !sim.AllConverged(results) || len(agg) == 0 {
+					b.Fatal("trial batch did not converge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTrialsParallel64(b *testing.B)  { benchTrialsParallel(b, 64, 96) }
+func BenchmarkTrialsParallel128(b *testing.B) { benchTrialsParallel(b, 128, 64) }

@@ -18,22 +18,25 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"gossipdisc/internal/experiments"
+	"gossipdisc/internal/sim"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
-		seed    = flag.Uint64("seed", 0, "root seed (0 = library default)")
-		trials  = flag.Int("trials", 0, "per-point trial override (0 = experiment default)")
-		scale   = flag.Float64("scale", 1, "sweep-size scale factor in (0, 1]")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers = flag.Int("workers", 0, "per-run round-engine workers (0 = classic sequential engine, -1 = GOMAXPROCS)")
-		outDir  = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		run            = flag.String("run", "all", "comma-separated experiment IDs, or \"all\"")
+		seed           = flag.Uint64("seed", 0, "root seed (0 = library default)")
+		trials         = flag.Int("trials", 0, "per-point trial override (0 = experiment default)")
+		scale          = flag.Float64("scale", 1, "sweep-size scale factor in (0, 1]")
+		csv            = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers        = flag.String("workers", "0", "per-run round-engine workers: 0 = classic sequential engine, k >= 1 = sharded deterministic engine, -1 = GOMAXPROCS, auto = adaptive autoscaling")
+		trialsParallel = flag.Int("trials-parallel", 0, "concurrent trials per sweep point (0 = GOMAXPROCS, 1 = strictly sequential; outputs are byte-identical for every value)")
+		outDir         = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
+		list           = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -44,10 +47,31 @@ func main() {
 		return
 	}
 
-	if *workers < 0 {
-		*workers = runtime.GOMAXPROCS(0)
+	// Resolve -workers exactly as gossipsim does: "auto" selects the
+	// autoscaling sentinel, -1 resolves to GOMAXPROCS, anything else must
+	// be an integer >= 0.
+	engineWorkers := 0
+	if *workers == "auto" {
+		engineWorkers = sim.WorkersAuto
+	} else {
+		n, err := strconv.Atoi(*workers)
+		if err != nil || n < -1 {
+			fmt.Fprintf(os.Stderr, "experiments: -workers must be an integer >= -1 or \"auto\" (got %q)\n", *workers)
+			os.Exit(1)
+		}
+		if n < 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		engineWorkers = n
 	}
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv, Workers: *workers}
+	if *trialsParallel < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -trials-parallel must be >= 0 (0 = GOMAXPROCS, 1 = sequential; got %d)\n", *trialsParallel)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{
+		Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv,
+		Workers: engineWorkers, TrialWorkers: *trialsParallel,
+	}
 
 	var selected []experiments.Experiment
 	if *run == "all" {

@@ -36,7 +36,7 @@ func main() {
 		trials       = flag.Int("trials", 1, "independent trials")
 		seed         = flag.Uint64("seed", 1, "root seed")
 		mode         = flag.String("mode", "sync", "scheduler: sync | eager | async")
-		workers      = flag.Int("workers", 0, "round-engine workers: 0 = classic sequential engine, >=1 = sharded deterministic engine, -1 = GOMAXPROCS")
+		workers      = flag.String("workers", "0", "round-engine workers: 0 = classic sequential engine, k >= 1 = sharded deterministic engine, -1 = GOMAXPROCS, auto = adaptive autoscaling")
 		roundsBudget = flag.Int("rounds", 0, "stop each trial after this many rounds even if not converged (0 = run to convergence)")
 		traceAt      = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off; trial 0 is driven step-wise through the session API)")
 		failProb     = flag.Float64("fail", 0, "connection failure probability (0..1)")
@@ -73,12 +73,19 @@ func main() {
 		async = true
 	}
 
-	if *workers < 0 {
-		*workers = runtime.GOMAXPROCS(0)
+	// Resolve -workers to the sim.Config value: "auto" selects the
+	// autoscaling sentinel, -1 resolves to GOMAXPROCS here (validate
+	// already rejected everything else).
+	wcount, wauto, _ := opts.workerCount()
+	engineWorkers := wcount
+	if wauto {
+		engineWorkers = sim.WorkersAuto
+	} else if wcount < 0 {
+		engineWorkers = runtime.GOMAXPROCS(0)
 	}
-	if *workers >= 1 && *mode != "sync" {
+	if engineWorkers != 0 && *mode != "sync" {
 		fmt.Fprintf(os.Stderr, "gossipsim: note: -workers applies only to -mode sync; the %s scheduler is inherently sequential\n", *mode)
-		*workers = 0
+		engineWorkers = 0
 	}
 	if *dense > 0 && *mode != "sync" {
 		fmt.Fprintf(os.Stderr, "gossipsim: note: -dense applies only to -mode sync\n")
@@ -86,7 +93,7 @@ func main() {
 	}
 
 	if *process == "directed" {
-		runDirected(*dfamily, *n, *trials, *seed, commit, *workers, *roundsBudget, *dense)
+		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense)
 		return
 	}
 
@@ -139,7 +146,7 @@ func main() {
 				trace.I(res.Proposals-res.NewEdges))
 			continue
 		}
-		cfg := sim.Config{Mode: commit, Workers: *workers, MaxRounds: *roundsBudget, DensePhase: *dense}
+		cfg := sim.Config{Mode: commit, Workers: engineWorkers, MaxRounds: *roundsBudget, DensePhase: *dense}
 		var res sim.Result
 		if *traceAt > 0 && t == 0 {
 			// Trial 0 is driven step-wise through the session API: the

@@ -1,12 +1,17 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // options collects every flag value gossipsim accepts, so input validation
 // is one pure function that table-driven tests can drive directly instead
 // of relying on incidental downstream behavior (a negative -rounds used to
 // silently select the default budget, a negative -workers silently meant
 // GOMAXPROCS for every value, and bad -fail probabilities sailed through).
+// workers is the raw flag string: "auto" selects the adaptive engine,
+// anything else must parse as an integer >= -1.
 type options struct {
 	process string
 	family  string
@@ -15,11 +20,29 @@ type options struct {
 	n       int
 	trials  int
 	seed    uint64
-	workers int
+	workers string
 	rounds  int
 	traceAt int
 	fail    float64
 	dense   float64
+}
+
+// workerCount resolves the -workers flag: auto == true selects the
+// adaptive engine (n is then meaningless); otherwise n is the parsed
+// count, with -1 still meaning GOMAXPROCS (resolved by the caller). The
+// error mirrors validate's style and is what validate reports.
+func (o *options) workerCount() (n int, auto bool, err error) {
+	if o.workers == "auto" {
+		return 0, true, nil
+	}
+	n, perr := strconv.Atoi(o.workers)
+	if perr != nil {
+		return 0, false, fmt.Errorf("-workers must be an integer or \"auto\" (got %q)", o.workers)
+	}
+	if n < -1 {
+		return 0, false, fmt.Errorf("-workers must be >= -1 (-1 = GOMAXPROCS, 0 = sequential engine, auto = autoscaled; got %d)", n)
+	}
+	return n, false, nil
 }
 
 // validate reports the first nonsensical option, or nil. Workload-family
@@ -46,8 +69,8 @@ func (o *options) validate() error {
 	if o.trials < 1 {
 		return fmt.Errorf("-trials must be at least 1 (got %d)", o.trials)
 	}
-	if o.workers < -1 {
-		return fmt.Errorf("-workers must be >= -1 (-1 = GOMAXPROCS, 0 = sequential engine; got %d)", o.workers)
+	if _, _, err := o.workerCount(); err != nil {
+		return err
 	}
 	if o.rounds < 0 {
 		return fmt.Errorf("-rounds must be >= 0 (0 = run to convergence; got %d)", o.rounds)

@@ -9,7 +9,7 @@ import (
 func good() options {
 	return options{
 		process: "push", family: "cycle", dfamily: "strong-random", mode: "sync",
-		n: 64, trials: 1, seed: 1, workers: 0, rounds: 0, traceAt: 0, fail: 0, dense: 0,
+		n: 64, trials: 1, seed: 1, workers: "0", rounds: 0, traceAt: 0, fail: 0, dense: 0,
 	}
 }
 
@@ -22,8 +22,9 @@ func TestValidateOptions(t *testing.T) {
 		{"defaults", func(o *options) {}, ""},
 		{"directed sync", func(o *options) { o.process = "directed" }, ""},
 		{"async undirected", func(o *options) { o.mode = "async" }, ""},
-		{"workers GOMAXPROCS sentinel", func(o *options) { o.workers = -1 }, ""},
-		{"workers sharded", func(o *options) { o.workers = 8 }, ""},
+		{"workers GOMAXPROCS sentinel", func(o *options) { o.workers = "-1" }, ""},
+		{"workers sharded", func(o *options) { o.workers = "8" }, ""},
+		{"workers auto", func(o *options) { o.workers = "auto" }, ""},
 		{"dense fraction", func(o *options) { o.dense = 0.25 }, ""},
 		{"dense full", func(o *options) { o.dense = 1 }, ""},
 		{"fail probability", func(o *options) { o.fail = 0.5 }, ""},
@@ -36,7 +37,9 @@ func TestValidateOptions(t *testing.T) {
 		{"negative n", func(o *options) { o.n = -5 }, "-n"},
 		{"zero trials", func(o *options) { o.trials = 0 }, "-trials"},
 		{"negative trials", func(o *options) { o.trials = -1 }, "-trials"},
-		{"workers below sentinel", func(o *options) { o.workers = -2 }, "-workers"},
+		{"workers below sentinel", func(o *options) { o.workers = "-2" }, "-workers"},
+		{"workers gibberish", func(o *options) { o.workers = "many" }, "-workers"},
+		{"workers empty", func(o *options) { o.workers = "" }, "-workers"},
 		{"negative rounds", func(o *options) { o.rounds = -1 }, "-rounds"},
 		{"negative trace", func(o *options) { o.traceAt = -3 }, "-trace"},
 		{"fail above one", func(o *options) { o.fail = 1.5 }, "-fail"},
@@ -45,6 +48,21 @@ func TestValidateOptions(t *testing.T) {
 		{"negative dense", func(o *options) { o.dense = -0.5 }, "-dense"},
 		{"dense with fail", func(o *options) { o.dense = 0.3; o.fail = 0.4 }, "-dense"},
 	}
+	t.Run("worker count resolution", func(t *testing.T) {
+		o := good()
+		o.workers = "auto"
+		if _, auto, err := o.workerCount(); err != nil || !auto {
+			t.Fatalf("auto: auto=%v err=%v", auto, err)
+		}
+		o.workers = "-1"
+		if n, auto, err := o.workerCount(); err != nil || auto || n != -1 {
+			t.Fatalf("-1: n=%d auto=%v err=%v", n, auto, err)
+		}
+		o.workers = "6"
+		if n, auto, err := o.workerCount(); err != nil || auto || n != 6 {
+			t.Fatalf("6: n=%d auto=%v err=%v", n, auto, err)
+		}
+	})
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			o := good()

@@ -147,3 +147,23 @@ func ExampleRunWithConfig() {
 	// min degree >= 3: true
 	// still incomplete: true
 }
+
+// ExampleWithAutoWorkers shows the autoscaled engine honoring the
+// determinism contract: the schedule adapts, the results do not — an
+// autoscaled run is bit-identical to any fixed worker count >= 1, and the
+// chosen schedule is read separately through EngineStats.
+func ExampleWithAutoWorkers() {
+	g := gossipdisc.Cycle(64)
+	sess := gossipdisc.NewSession(g, gossipdisc.WithAutoWorkers(), gossipdisc.WithSeed(7))
+	defer sess.Close()
+	res := sess.Run()
+
+	fixed := gossipdisc.RunParallel(gossipdisc.Cycle(64), gossipdisc.Push{}, 7, 1)
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("matches fixed Workers=1:", res == fixed)
+	fmt.Println("schedule was autoscaling's to pick:", sess.EngineStats().ConfiguredWorkers == gossipdisc.WorkersAuto)
+	// Output:
+	// converged: true
+	// matches fixed Workers=1: true
+	// schedule was autoscaling's to pick: true
+}

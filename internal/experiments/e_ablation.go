@@ -45,12 +45,12 @@ func runAblation(cfg Config, w io.Writer) error {
 		for ni, n := range ns {
 			seed := pointSeed(cfg.Seed, uint64(ni), hashName(procName))
 
-			syncRes := sim.Trials(trials, seed, cycleBuilder(n), proc, cfg.engine())
+			syncRes := sim.TrialsOn(cfg.TrialWorkers, trials, seed, cycleBuilder(n), proc, cfg.engine())
 			syncSum, err := summarizeRounds(syncRes)
 			if err != nil {
 				return fmt.Errorf("E15 sync n=%d: %w", n, err)
 			}
-			eagerRes := sim.Trials(trials, seed, cycleBuilder(n), proc,
+			eagerRes := sim.TrialsOn(cfg.TrialWorkers, trials, seed, cycleBuilder(n), proc,
 				sim.Config{Mode: sim.CommitEager})
 			eagerSum, err := summarizeRounds(eagerRes)
 			if err != nil {
@@ -108,7 +108,11 @@ func runConcentration(cfg Config, w io.Writer) error {
 			// the trials hold 90% of all pairs on average — concentrates
 			// even tighter than the convergence time, because the w.h.p.
 			// tail is spent on the last few missing pairs.
-			results, agg := sim.TrialsAggregate(trials, seed, cycleBuilder(n), proc, cfg.engine())
+			// E16's 100-trial distribution sweep is the experiment suite's
+			// heaviest batch — exactly the shape the bounded parallel
+			// harness exists for (cfg.TrialWorkers = 1 reproduces the old
+			// strictly sequential behavior byte for byte).
+			results, agg := sim.TrialsAggregateOn(cfg.TrialWorkers, trials, seed, cycleBuilder(n), proc, cfg.engine())
 			if !sim.AllConverged(results) {
 				return fmt.Errorf("E16 n=%d: non-converged trial", n)
 			}

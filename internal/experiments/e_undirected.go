@@ -89,7 +89,7 @@ func runUpperBoundSweep(cfg Config, w io.Writer, id string, proc core.Process) e
 				continue
 			}
 			seed := pointSeed(cfg.Seed, uint64(fi), uint64(len(famName)), hashName(famName))
-			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
+			results := sim.TrialsOn(cfg.TrialWorkers, trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return fam.Generate(n, r)
 			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
@@ -144,7 +144,7 @@ func runLowerBoundSweep(cfg Config, w io.Writer, id string, proc core.Process) e
 				continue
 			}
 			seed := pointSeed(cfg.Seed, uint64(ni), uint64(ki))
-			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
+			results := sim.TrialsOn(cfg.TrialWorkers, trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				return gen.NearComplete(n, k, r)
 			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
@@ -247,7 +247,7 @@ func runSubgroup(cfg Config, w io.Writer) error {
 			// (first round with 90% of all pairs known, on average) shows
 			// the coupon-collector tail: the bulk of discovery finishes in
 			// a small fraction of the convergence time.
-			results, agg := sim.TrialsAggregate(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
+			results, agg := sim.TrialsAggregateOn(cfg.TrialWorkers, trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
 				host := gen.TwoClustersBridge(hostN, 6.0/float64(hostN), r)
 				return inducedConnectedSubset(host, k, r)
 			}, proc, cfg.engine())

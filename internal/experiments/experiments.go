@@ -28,9 +28,15 @@ type Config struct {
 	CSV bool
 	// Workers selects the per-run round engine (sim.Config.Workers):
 	// 0 keeps the classic sequential engine, w >= 1 shards each round
-	// over w goroutines. Trial batches already saturate GOMAXPROCS, so
-	// Workers > 1 mainly pays off for large-n single-run sweeps.
+	// over w goroutines, sim.WorkersAuto autoscales the count per run.
+	// Trial batches already saturate GOMAXPROCS, so fixed Workers > 1
+	// mainly pays off for large-n single-run sweeps; WorkersAuto composes
+	// with trial-level parallelism (each trial's engine scales itself).
 	Workers int
+	// TrialWorkers bounds how many trials of a sweep point run
+	// concurrently (sim.TrialsOn / sim.TrialsAggregateOn): 0 = GOMAXPROCS,
+	// 1 = strictly sequential. Outputs are byte-identical for every value.
+	TrialWorkers int
 }
 
 // engine returns the sim.Config every undirected sweep point shares.

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"math"
-	"sync"
 
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
@@ -14,17 +13,19 @@ import (
 // also want the *shape* of convergence — how the minimum degree grows, how
 // fast edges are disseminated round by round — previously had to record a
 // full snapshot series per trial and post-process the lot. TrialsAggregate
-// instead taps each trial's streaming delta pipeline and folds every round
-// into shared per-round integer accumulators, so the memory cost is
-// O(max rounds), independent of the trial count, and no per-trial series is
-// ever materialized.
+// instead taps each trial's streaming delta pipeline: each trial folds its
+// deltas into a compact local per-round row (three ints — no snapshot
+// series, no graph copies), and the rows are merged into the cross-trial
+// accumulators after the pool drains.
 //
-// Determinism: trials run in parallel and merge into the shared
-// accumulators in scheduler order, but every accumulated quantity is an
-// integer sum (min degrees, new-edge counts, edge counts, pair counts), so
-// the fold is commutative and the resulting aggregates are bit-identical
-// across runs and GOMAXPROCS. Floating-point statistics are derived only
-// once, at the end, from the integer sums.
+// Determinism: trials run concurrently on a bounded pool (TrialsAggregateOn
+// caps it; an earlier revision instead folded into shared accumulators
+// under a mutex in scheduler order, counting on integer-sum commutativity),
+// but the merge itself is strictly sequential in trial order, so the
+// aggregate series is *structurally* byte-identical for every pool size —
+// including the sequential pool of one — and across runs and GOMAXPROCS,
+// with no ordering argument needed. Floating-point statistics are derived
+// only once, at the end, from the merged integer sums.
 
 // RoundAggregate is one round's cross-trial aggregate. Every trial
 // contributes to every round up to the longest trial's length: trials that
@@ -77,18 +78,12 @@ func (rs *roundSums) add(minDeg, newEdges, edges, pairs int, live bool) {
 	rs.sumPairs += int64(pairs)
 }
 
-// aggState is the shared fold target; one mutex guards the grow-on-demand
-// per-round slice (contention is negligible next to the simulation work).
-type aggState struct {
-	mu     sync.Mutex
-	rounds []roundSums
-}
-
-func (a *aggState) at(round int) *roundSums {
-	for len(a.rounds) < round {
-		a.rounds = append(a.rounds, roundSums{})
-	}
-	return &a.rounds[round-1]
+// trialRound is one trial's observed state after one of its live rounds —
+// the compact per-trial record the trial-order merge consumes. 24 bytes per
+// round per trial: a 100-trial aggregate over 3000-round runs costs ~7 MB,
+// still independent of n and far below any snapshot series.
+type trialRound struct {
+	minDeg, newEdges, edges int
 }
 
 // minDegreeTracker maintains a trial's minimum degree and edge count
@@ -146,8 +141,21 @@ func (t *minDegreeTracker) observe(g *graph.Undirected, d *RoundDelta) (minDeg, 
 // = longest trial). TrialsAggregate owns the delta stream: it panics if
 // cfg.DeltaObserver is set, because trials run concurrently and a single
 // chained observer would receive interleaved streams from different graphs
-// (no stateful consumer can interpret that, and most would race).
+// (no stateful consumer can interpret that, and most would race). It is
+// TrialsAggregateOn with the default GOMAXPROCS-wide pool.
 func TrialsAggregate(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Undirected,
+	p core.Process, cfg Config) ([]Result, []RoundAggregate) {
+	return TrialsAggregateOn(0, numTrials, seed, build, p, cfg)
+}
+
+// TrialsAggregateOn is TrialsAggregate on a bounded trial pool, exactly as
+// TrialsOn bounds Trials: at most trialWorkers trials run concurrently
+// (0 = GOMAXPROCS, 1 = strictly sequential in trial order, negative
+// panics). Both return values are byte-identical for every pool size: each
+// trial records its rounds locally and the cross-trial merge runs in trial
+// order after the pool drains (TestTrialsAggregatePoolByteIdentical pins
+// this over a seed matrix).
+func TrialsAggregateOn(trialWorkers, numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Undirected,
 	p core.Process, cfg Config) ([]Result, []RoundAggregate) {
 
 	if cfg.DeltaObserver != nil {
@@ -159,20 +167,20 @@ func TrialsAggregate(numTrials int, seed uint64, build func(trial int, r *rng.Ra
 		gens[i] = root.Split()
 	}
 
-	agg := &aggState{}
 	results := make([]Result, numTrials)
-	// Per-trial state frozen at each trial's last committed round, for the
-	// terminal fill below: the final minimum degree, edge count, and pair
-	// count (under the default Done these are n-1 / pairs / pairs, but a
-	// custom Done can finish a trial on a sparse graph).
+	// Per-trial round rows (appended only by the owning trial — no locks)
+	// and per-trial state frozen at each trial's last committed round, for
+	// the terminal fill below: the final minimum degree, edge count, and
+	// pair count (under the default Done these are n-1 / pairs / pairs, but
+	// a custom Done can finish a trial on a sparse graph).
+	rows := make([][]trialRound, numTrials)
 	finalMin := make([]int, numTrials)
 	finalEdges := make([]int, numTrials)
 	trialPairs := make([]int, numTrials)
-	parallelFor(numTrials, func(i int) {
+	parallelFor(trialWorkers, numTrials, func(i int) {
 		r := gens[i]
 		g := build(i, r)
-		pairs := g.N() * (g.N() - 1) / 2
-		trialPairs[i] = pairs
+		trialPairs[i] = g.N() * (g.N() - 1) / 2
 		// Entry state covers trials that finish in zero rounds.
 		finalMin[i], finalEdges[i] = g.MinDegree(), g.M()
 		tracker := &minDegreeTracker{}
@@ -180,27 +188,37 @@ func TrialsAggregate(numTrials int, seed uint64, build func(trial int, r *rng.Ra
 		c.DeltaObserver = func(g *graph.Undirected, d *RoundDelta) {
 			minDeg, edges := tracker.observe(g, d)
 			finalMin[i], finalEdges[i] = minDeg, edges
-			agg.mu.Lock()
-			agg.at(d.Round).add(minDeg, len(d.NewEdges), edges, pairs, true)
-			agg.mu.Unlock()
+			rows[i] = append(rows[i], trialRound{minDeg: minDeg, newEdges: len(d.NewEdges), edges: edges})
 		}
 		results[i] = Run(g, p, r, c)
 	})
 
-	// Terminal fill: trials that ended before the longest trial keep
-	// contributing their *final observed* state (frozen above — correct for
-	// custom Done predicates too), so every round aggregates all numTrials
-	// trials. Integer sums in trial order — still deterministic.
-	maxR := len(agg.rounds)
-	for i, res := range results {
-		for r := res.Rounds + 1; r <= maxR; r++ {
-			agg.rounds[r-1].add(finalMin[i], 0, finalEdges[i], trialPairs[i], false)
+	// Merge in trial order — strictly sequential, so the output cannot
+	// depend on how the pool scheduled the trials. Trials that ended before
+	// the longest trial keep contributing their *final observed* state
+	// (frozen above — correct for custom Done predicates too), so every
+	// round aggregates all numTrials trials.
+	maxR := 0
+	for i := range rows {
+		if len(rows[i]) > maxR {
+			maxR = len(rows[i])
+		}
+	}
+	agg := make([]roundSums, maxR)
+	for i := range rows {
+		for r := 0; r < maxR; r++ {
+			if r < len(rows[i]) {
+				tr := rows[i][r]
+				agg[r].add(tr.minDeg, tr.newEdges, tr.edges, trialPairs[i], true)
+			} else {
+				agg[r].add(finalMin[i], 0, finalEdges[i], trialPairs[i], false)
+			}
 		}
 	}
 
 	out := make([]RoundAggregate, maxR)
 	for r := 0; r < maxR; r++ {
-		rs := &agg.rounds[r]
+		rs := &agg[r]
 		out[r] = RoundAggregate{
 			Round:         r + 1,
 			Running:       int(rs.running),

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"gossipdisc/internal/core"
@@ -121,6 +122,32 @@ func TestTrialsAggregateTerminalFill(t *testing.T) {
 			t.Fatalf("mean min degree decreased at round %d", r+1)
 		}
 		prev = agg[r].MeanMinDegree
+	}
+}
+
+// TestTrialsAggregatePoolByteIdentical: the aggregate series and the
+// per-trial results are byte-identical for every trial-pool size — the
+// strictly sequential pool of one, a small bounded pool, and the default
+// GOMAXPROCS pool — over a seed × trial-count matrix. The merge runs in
+// trial order after the pool drains, so this holds structurally, not just
+// because integer sums commute.
+func TestTrialsAggregatePoolByteIdentical(t *testing.T) {
+	build := func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.RandomTree(48+8*(trial%3), r)
+	}
+	for _, seed := range []uint64{3, 99, 12345} {
+		for _, numTrials := range []int{1, 5, 16} {
+			seqRes, seqAgg := TrialsAggregateOn(1, numTrials, seed, build, core.Push{}, Config{})
+			for _, pool := range []int{3, 0} {
+				res, agg := TrialsAggregateOn(pool, numTrials, seed, build, core.Push{}, Config{})
+				if !reflect.DeepEqual(res, seqRes) {
+					t.Fatalf("seed=%d trials=%d pool=%d: results differ from sequential", seed, numTrials, pool)
+				}
+				if !reflect.DeepEqual(agg, seqAgg) {
+					t.Fatalf("seed=%d trials=%d pool=%d: aggregate series differs from sequential", seed, numTrials, pool)
+				}
+			}
+		}
 	}
 }
 

@@ -37,9 +37,14 @@ type AsyncResult struct {
 
 // AsyncConfig controls an asynchronous run or session.
 type AsyncConfig struct {
-	// MaxTicks aborts the run (0 = n × DefaultMaxRounds(n); negative means
-	// unbounded, for open-ended stepped AsyncSessions, mirroring
-	// Config.MaxRounds).
+	// MaxTicks bounds the run, mirroring Config.MaxRounds tick for round:
+	// 0 selects the default budget of n × DefaultMaxRounds(n) ticks; any
+	// negative value means unbounded, which is meaningful only for stepped
+	// AsyncSessions (the RunAsync facade normalizes negatives back to the
+	// default budget — a fire-and-forget run could never return); a
+	// positive budget that runs out mid-round stops the session exactly at
+	// MaxTicks ticks with Converged == false
+	// (TestAsyncMaxTicksBudgetContract pins all three).
 	MaxTicks int
 	// Done overrides the convergence predicate (default: complete graph).
 	Done func(g *graph.Undirected) bool

@@ -50,6 +50,71 @@ func TestRunAsyncCustomDone(t *testing.T) {
 	}
 }
 
+// TestAsyncMaxTicksBudgetContract is the satellite table pinning
+// AsyncConfig.MaxTicks against Config.MaxRounds's budget contract, tick for
+// round: 0 selects the default budget (n × DefaultMaxRounds(n)), any
+// negative value means unbounded for a stepped session while the RunAsync
+// facade folds it back to the default, and a positive budget that runs out
+// stops the run at exactly MaxTicks with Converged == false.
+func TestAsyncMaxTicksBudgetContract(t *testing.T) {
+	const n = 4
+	defaultBudget := n * DefaultMaxRounds(n)
+	never := func(g *graph.Undirected) bool { return false }
+
+	t.Run("zero selects the default budget", func(t *testing.T) {
+		res := RunAsync(gen.Complete(n), core.Push{}, rng.New(1), AsyncConfig{Done: never})
+		if res.Converged || res.Ticks != defaultBudget {
+			t.Fatalf("got %d ticks (converged=%v), want the default budget %d",
+				res.Ticks, res.Converged, defaultBudget)
+		}
+	})
+
+	t.Run("negative means unbounded for sessions", func(t *testing.T) {
+		// Done fires strictly beyond the default budget: only an unbounded
+		// session can get there. Every negative value — not just -1 —
+		// normalizes the same way.
+		for _, maxTicks := range []int{-1, -9} {
+			calls := 0
+			s := NewAsyncSession(gen.Complete(n), core.Push{}, rng.New(1), AsyncConfig{
+				MaxTicks: maxTicks,
+				Done: func(g *graph.Undirected) bool {
+					calls++
+					return calls > defaultBudget+999
+				},
+			})
+			res := s.Run()
+			if !res.Converged || res.Ticks <= defaultBudget {
+				t.Fatalf("MaxTicks=%d: %d ticks (converged=%v), want convergence beyond %d",
+					maxTicks, res.Ticks, res.Converged, defaultBudget)
+			}
+		}
+	})
+
+	t.Run("facade folds negatives to the default budget", func(t *testing.T) {
+		res := RunAsync(gen.Complete(n), core.Push{}, rng.New(1),
+			AsyncConfig{MaxTicks: -5, Done: never})
+		if res.Converged || res.Ticks != defaultBudget {
+			t.Fatalf("got %d ticks (converged=%v), want the default budget %d",
+				res.Ticks, res.Converged, defaultBudget)
+		}
+	})
+
+	t.Run("exhausted budget stops exactly at MaxTicks", func(t *testing.T) {
+		s := NewAsyncSession(gen.Complete(n), core.Push{}, rng.New(1),
+			AsyncConfig{MaxTicks: 37, Done: never})
+		res := s.Run()
+		if res.Converged || res.Ticks != 37 {
+			t.Fatalf("got %d ticks (converged=%v), want exactly 37", res.Ticks, res.Converged)
+		}
+		if got := res.ParallelRounds; got != 37.0/n {
+			t.Fatalf("ParallelRounds %v, want %v", got, 37.0/n)
+		}
+		if d, ok := s.Step(); d != nil || ok {
+			t.Fatalf("Step after exhaustion returned (%v, %v), want (nil, false)", d, ok)
+		}
+	})
+}
+
 func TestAsyncComparableToSync(t *testing.T) {
 	// Parallel rounds under the async scheduler should land within a small
 	// constant factor of synchronous rounds on the same workload.

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// This file pins the adaptive worker autoscaling contract (WorkersAuto):
+// the autoscaler only redistributes the fixed shard layout over a varying
+// number of goroutines, so every autoscaled run must be bit-identical to
+// every fixed Workers >= 1 run — Result, final graph, and the entire delta
+// stream — no matter what schedule the wall-clock probe picks. CI runs the
+// whole file under -race (the adaptive-equivalence step), which also
+// exercises the parked-pool signaling with a live autoscaler.
+
+// withGOMAXPROCS runs fn under the given GOMAXPROCS so the autoscaler gets
+// a real multi-worker pool even on a single-core box, restoring the old
+// value afterwards.
+func withGOMAXPROCS(t *testing.T, procs int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestAutoWorkersEquivalenceUndirected: autoscaled sync runs are
+// bit-identical to the fixed Workers ∈ {1, 4} goldens for both processes.
+func TestAutoWorkersEquivalenceUndirected(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		for _, proc := range []core.Process{core.Push{}, core.Pull{}} {
+			run := func(workers int) (Result, *graph.Undirected) {
+				g := gen.RandomTree(200, rng.New(77))
+				res := Run(g, proc, rng.New(42), Config{Workers: workers})
+				return res, g
+			}
+			baseRes, baseG := run(1)
+			if !baseRes.Converged {
+				t.Fatalf("%s fixed run did not converge: %+v", proc.Name(), baseRes)
+			}
+			fixedRes, fixedG := run(4)
+			if fixedRes != baseRes || !fixedG.Equal(baseG) {
+				t.Fatalf("%s Workers=4 golden diverged from Workers=1", proc.Name())
+			}
+			autoRes, autoG := run(WorkersAuto)
+			if autoRes != baseRes {
+				t.Fatalf("%s auto result %+v != fixed result %+v", proc.Name(), autoRes, baseRes)
+			}
+			if !autoG.Equal(baseG) {
+				t.Fatalf("%s auto final graph differs from fixed", proc.Name())
+			}
+		}
+	})
+}
+
+// TestAutoWorkersEquivalenceDense: the dense-phase act samples per shard on
+// the shard's own stream, so autoscaling must stay bit-identical with the
+// dense mode armed from the first round.
+func TestAutoWorkersEquivalenceDense(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		run := func(workers int) (Result, *graph.Undirected) {
+			g := gen.Cycle(256)
+			res := Run(g, core.Push{}, rng.New(9), Config{Workers: workers, DensePhase: 1})
+			return res, g
+		}
+		baseRes, baseG := run(1)
+		if !baseRes.Converged {
+			t.Fatalf("dense fixed run did not converge: %+v", baseRes)
+		}
+		for _, w := range []int{4, WorkersAuto} {
+			res, g := run(w)
+			if res != baseRes || !g.Equal(baseG) {
+				t.Fatalf("dense Workers=%d diverged: %+v vs %+v", w, res, baseRes)
+			}
+		}
+	})
+}
+
+// TestAutoWorkersEquivalenceDirected: the directed engine obeys the same
+// contract, including the closure-tracking termination counters.
+func TestAutoWorkersEquivalenceDirected(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		run := func(workers int) (DirectedResult, *graph.Directed) {
+			g := gen.RandomStronglyConnected(96, 32, rng.New(9))
+			res := RunDirected(g, core.DirectedTwoHop{}, rng.New(43), DirectedConfig{Workers: workers})
+			return res, g
+		}
+		baseRes, baseG := run(1)
+		if !baseRes.Converged {
+			t.Fatalf("directed fixed run did not converge: %+v", baseRes)
+		}
+		for _, w := range []int{4, WorkersAuto} {
+			res, g := run(w)
+			if res != baseRes || !g.Equal(baseG) {
+				t.Fatalf("directed Workers=%d diverged: %+v vs %+v", w, res, baseRes)
+			}
+		}
+	})
+}
+
+// TestAutoWorkersDeltaStream: the full delta stream of an autoscaled run —
+// every edge, touch order, degree increment, and remaining count — matches
+// the fixed-worker stream (ActiveWorkers is telemetry and deliberately not
+// compared; flatDelta does not capture it).
+func TestAutoWorkersDeltaStream(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		base := recordDeltas(1)
+		if len(base) == 0 {
+			t.Fatal("no deltas recorded")
+		}
+		if got := recordDeltas(WorkersAuto); !reflect.DeepEqual(base, got) {
+			t.Fatal("autoscaled delta stream differs from Workers=1")
+		}
+	})
+}
+
+// TestAutoWorkersStepEquivalence: stepping an autoscaled session reproduces
+// the fire-and-forget facade bit for bit, and every step's delta reports an
+// in-range ActiveWorkers.
+func TestAutoWorkersStepEquivalence(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		g := gen.Cycle(150)
+		want := Run(g.Clone(), core.Push{}, rng.New(5), Config{Workers: 1})
+
+		sess := NewSession(g, core.Push{}, rng.New(5), Config{Workers: WorkersAuto})
+		defer sess.Close()
+		steps := 0
+		for {
+			d, more := sess.Step()
+			if d == nil {
+				break
+			}
+			steps++
+			if d.ActiveWorkers < 1 || d.ActiveWorkers > 4 {
+				t.Fatalf("step %d: ActiveWorkers %d outside [1, 4]", steps, d.ActiveWorkers)
+			}
+			if !more {
+				break
+			}
+		}
+		if got := sess.Stats(); got != want {
+			t.Fatalf("stepped auto session %+v != fixed facade %+v", got, want)
+		}
+		if steps != want.Rounds {
+			t.Fatalf("stepped %d rounds, facade ran %d", steps, want.Rounds)
+		}
+	})
+}
+
+// TestAutoEngineStatsTelemetry: EngineStats reports the autoscaled schedule
+// — prospectively before the first step, live afterwards — and the first
+// tuning decision (always a grow: the tuner starts inline and explores up)
+// is visible in ScaleUps.
+func TestAutoEngineStatsTelemetry(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		g := gen.Cycle(256)
+		sess := NewSession(g, core.Push{}, rng.New(3), Config{Workers: WorkersAuto})
+		defer sess.Close()
+
+		st := sess.EngineStats()
+		want := EngineStats{
+			ConfiguredWorkers: WorkersAuto,
+			EffectiveWorkers:  1, // the autoscaler starts inline
+			SpawnedWorkers:    4,
+			Shards:            8,
+			Autoscaled:        true,
+		}
+		if st != want {
+			t.Fatalf("prospective stats %+v, want %+v", st, want)
+		}
+
+		res := sess.Run()
+		if !res.Converged {
+			t.Fatalf("auto run did not converge: %+v", res)
+		}
+		st = sess.EngineStats()
+		if !st.Autoscaled || st.ConfiguredWorkers != WorkersAuto || st.SpawnedWorkers != 4 || st.Shards != 8 {
+			t.Fatalf("live stats lost the schedule shape: %+v", st)
+		}
+		if st.EffectiveWorkers < 1 || st.EffectiveWorkers > 4 {
+			t.Fatalf("live EffectiveWorkers %d outside [1, 4]", st.EffectiveWorkers)
+		}
+		if res.Rounds >= 2*tuneWindow && st.ScaleUps < 1 {
+			t.Fatalf("no grow decision over %d rounds: %+v", res.Rounds, st)
+		}
+	})
+}
+
+// TestAutoDegeneratesInline: with GOMAXPROCS 1 (or a one-shard graph) the
+// auto pool collapses to a single inline worker — no goroutines, no tuner —
+// and EngineStats says so (Autoscaled false, ConfiguredWorkers still
+// records the request).
+func TestAutoDegeneratesInline(t *testing.T) {
+	withGOMAXPROCS(t, 1, func() {
+		g := gen.Cycle(256)
+		sess := NewSession(g, core.Push{}, rng.New(3), Config{Workers: WorkersAuto})
+		defer sess.Close()
+		res := sess.Run()
+		if !res.Converged {
+			t.Fatalf("degenerate auto run did not converge: %+v", res)
+		}
+		st := sess.EngineStats()
+		want := EngineStats{
+			ConfiguredWorkers: WorkersAuto,
+			EffectiveWorkers:  1,
+			SpawnedWorkers:    0,
+			Shards:            8,
+		}
+		if st != want {
+			t.Fatalf("degenerate stats %+v, want %+v", st, want)
+		}
+	})
+}
+
+// TestAutoEngineStatsEffectiveClamp is the satellite regression for the
+// silent newEngine clamp: the effective worker count — min(request,
+// shards) — is now surfaced, including the n < shardNodes single-shard
+// case that used to flatten 8 requested workers to 1 invisibly.
+func TestAutoEngineStatsEffectiveClamp(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+		want       EngineStats
+	}{
+		{"below one shard", 16, 8, EngineStats{ConfiguredWorkers: 8, EffectiveWorkers: 1, SpawnedWorkers: 0, Shards: 1}},
+		{"workers above shards", 64, 100, EngineStats{ConfiguredWorkers: 100, EffectiveWorkers: 2, SpawnedWorkers: 2, Shards: 2}},
+		{"exact fit", 96, 2, EngineStats{ConfiguredWorkers: 2, EffectiveWorkers: 2, SpawnedWorkers: 2, Shards: 3}},
+		{"sequential engine", 96, 0, EngineStats{ConfiguredWorkers: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := gen.Cycle(tc.n)
+			sess := NewSession(g, core.Push{}, rng.New(1), Config{Workers: tc.workers})
+			defer sess.Close()
+			if st := sess.EngineStats(); st != tc.want {
+				t.Fatalf("prospective stats %+v, want %+v", st, tc.want)
+			}
+			sess.Run()
+			if st := sess.EngineStats(); st != tc.want {
+				t.Fatalf("live stats %+v, want %+v (fixed schedules must not drift)", st, tc.want)
+			}
+		})
+	}
+
+	t.Run("directed below one shard", func(t *testing.T) {
+		g := gen.DirectedCycle(16)
+		sess := NewDirectedSession(g, core.DirectedTwoHop{}, rng.New(1), DirectedConfig{Workers: 8})
+		defer sess.Close()
+		want := EngineStats{ConfiguredWorkers: 8, EffectiveWorkers: 1, SpawnedWorkers: 0, Shards: 1}
+		if st := sess.EngineStats(); st != want {
+			t.Fatalf("directed prospective stats %+v, want %+v", st, want)
+		}
+	})
+}
+
+// TestAutoTunerHillClimb drives the controller against synthetic,
+// deterministic cost models and checks it settles where each model says it
+// should. One observe call = one round; the tuner decides every tuneWindow
+// rounds.
+func TestAutoTunerHillClimb(t *testing.T) {
+	const work = 1000
+	// settle runs the tuner for `windows` decisions under cost-per-work
+	// model f(active) and returns the active counts it chose in the final
+	// quarter of the run.
+	settle := func(max, windows int, f func(active int) float64) []int {
+		tu := newAutoTuner(max)
+		var tail []int
+		for w := 0; w < windows; w++ {
+			for r := 0; r < tuneWindow; r++ {
+				tu.observe(int64(work*f(tu.active)), work)
+			}
+			if w >= windows*3/4 {
+				tail = append(tail, tu.active)
+			}
+		}
+		return tail
+	}
+
+	t.Run("parallelism always pays", func(t *testing.T) {
+		// Pure 1/a scaling: the tuner must climb to the pool ceiling and
+		// hover within one worker of it (hill climbers probe downhill).
+		for _, a := range settle(8, 80, func(active int) float64 { return 8000 / float64(active) }) {
+			if a < 7 {
+				t.Fatalf("settled at %d workers; want >= 7 of 8", a)
+			}
+		}
+	})
+
+	t.Run("parallelism never pays", func(t *testing.T) {
+		// Fan-out overhead dominates: the tuner must fall back to inline
+		// rounds and stay within one worker of them.
+		for _, a := range settle(8, 80, func(active int) float64 { return 100 + 1000*float64(active) }) {
+			if a > 2 {
+				t.Fatalf("settled at %d workers; want <= 2", a)
+			}
+		}
+	})
+
+	t.Run("u-shaped sweet spot", func(t *testing.T) {
+		// 8000/a + 100·a has its minimum near a = 9 clipped by max = 16 to
+		// the interior: optimum ≈ sqrt(8000/100) ≈ 8.9. The tuner should
+		// orbit it.
+		for _, a := range settle(16, 120, func(active int) float64 { return 8000/float64(active) + 100*float64(active) }) {
+			if a < 6 || a > 12 {
+				t.Fatalf("settled at %d workers; want near the optimum 9", a)
+			}
+		}
+	})
+
+	t.Run("telemetry counts decisions", func(t *testing.T) {
+		tu := newAutoTuner(4)
+		for w := 0; w < 10; w++ {
+			for r := 0; r < tuneWindow; r++ {
+				tu.observe(1000, work)
+			}
+		}
+		if tu.ups == 0 && tu.downs == 0 {
+			t.Fatal("tuner made no decisions over 10 windows")
+		}
+		if tu.active < 1 || tu.active > 4 {
+			t.Fatalf("active %d escaped [1, 4]", tu.active)
+		}
+	})
+}
+
+// TestAutoWorkersTrials: autoscaled engines inside the bounded parallel
+// trial harness — the configuration that saturates a many-core box — keep
+// the whole batch a deterministic function of (seed, trial index).
+func TestAutoWorkersTrials(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		build := func(trial int, r *rng.Rand) *graph.Undirected {
+			return gen.Cycle(64 + 32*trial)
+		}
+		fixed := TrialsOn(1, 4, 11, build, core.Push{}, Config{Workers: 1})
+		auto := TrialsOn(0, 4, 11, build, core.Push{}, Config{Workers: WorkersAuto})
+		for i := range fixed {
+			if auto[i] != fixed[i] {
+				t.Fatalf("trial %d: auto-in-parallel-harness %+v != fixed sequential %+v", i, auto[i], fixed[i])
+			}
+		}
+	})
+}

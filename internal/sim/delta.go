@@ -60,6 +60,13 @@ type RoundDelta struct {
 	// edges joining two members. Both are 0 when membership tracking is off.
 	Members     int
 	MemberEdges int
+	// ActiveWorkers is the worker count that executed this round's act
+	// phase — schedule telemetry, most useful for watching a WorkersAuto
+	// session adapt. It is deliberately OUTSIDE the determinism contract
+	// (every other field is bit-identical for every Workers >= 1; this one
+	// describes the schedule itself) and is 0 under the sequential,
+	// eager, and asynchronous engines.
+	ActiveWorkers int
 }
 
 // DirectedRoundDelta is the directed counterpart of RoundDelta. As there,
@@ -87,6 +94,10 @@ type DirectedRoundDelta struct {
 	// is bound to the emitting session at the first emitted round and
 	// reflects the post-commit state.
 	MissingClosureDegree func(u int) int
+	// ActiveWorkers is the worker count that executed this round's act
+	// phase — schedule telemetry outside the determinism contract, exactly
+	// as RoundDelta.ActiveWorkers. 0 under the sequential engine.
+	ActiveWorkers int
 }
 
 // deltaState owns an undirected run's reusable RoundDelta. It is allocated

@@ -66,8 +66,11 @@ type DirectedSession struct {
 // NewDirectedSession constructs a resumable directed session over g. The
 // transitive closure of g is computed here (no generator output is
 // consumed); the first step performs the engine-family dispatch. As with
-// Session, a negative cfg.MaxRounds means unbounded stepping.
+// Session, any negative cfg.MaxRounds means unbounded stepping, and junk
+// configuration (a negative Workers other than WorkersAuto, DensePhase
+// outside [0, 1]) panics here with a clear message.
 func NewDirectedSession(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, cfg DirectedConfig) *DirectedSession {
+	validateWorkers(cfg.Workers, "DirectedConfig.Workers")
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = DefaultDirectedMaxRounds(g.N())
@@ -137,7 +140,7 @@ func (s *DirectedSession) commitArc(a, b int) {
 // executes a round, so a session that is done at entry consumes no
 // generator output.
 func (s *DirectedSession) dispatch() {
-	if s.mode == CommitSynchronous && s.workers >= 1 {
+	if s.mode == CommitSynchronous && (s.workers >= 1 || s.workers == WorkersAuto) {
 		s.eng = newEngine(s.g.N(), s.workers, s.r)
 		s.engAct = func(sh *shard) {
 			if s.dense {
@@ -194,6 +197,7 @@ func (s *DirectedSession) step() bool {
 	}
 	round := s.res.Rounds + 1
 	s.buf, s.accepted = s.buf[:0], s.accepted[:0]
+	actWorkers := 0
 
 	if s.eng != nil {
 		s.eng.actRound(s.engAct)
@@ -215,6 +219,10 @@ func (s *DirectedSession) step() bool {
 				s.missingRow[a.U]--
 			}
 		}
+		// Snapshot the count that served this round for the delta's
+		// telemetry before tune moves it for the next one.
+		actWorkers = s.eng.active
+		s.eng.tune(roundProposals, len(acc))
 	} else {
 		n := s.g.N()
 		if s.dense {
@@ -239,6 +247,7 @@ func (s *DirectedSession) step() bool {
 	s.res.Rounds = round
 
 	if s.ds != nil {
+		s.ds.d.ActiveWorkers = actWorkers
 		s.ds.emit(round, s.g, s.accepted, s.missing)
 	}
 	if s.observer != nil {
@@ -370,7 +379,21 @@ func (s *DirectedSession) MissingClosureDegree(u int) int {
 }
 
 // Stats returns a snapshot of the cumulative run statistics. O(1).
+// DirectedResult is bit-identical across worker schedules by contract; the
+// schedule itself is read through EngineStats.
 func (s *DirectedSession) Stats() DirectedResult { return s.res }
+
+// EngineStats returns the session's schedule telemetry, exactly as
+// Session.EngineStats does for undirected sessions. O(1).
+func (s *DirectedSession) EngineStats() EngineStats {
+	if s.mode != CommitSynchronous || s.workers == 0 {
+		return EngineStats{ConfiguredWorkers: s.workers}
+	}
+	if s.eng != nil {
+		return s.eng.stats(s.workers)
+	}
+	return prospectiveEngineStats(s.workers, s.g.N())
+}
 
 // Converged reports whether the termination predicate has fired.
 func (s *DirectedSession) Converged() bool { return s.res.Converged }

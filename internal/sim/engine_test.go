@@ -272,7 +272,10 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting differs under -race")
 	}
-	for _, workers := range []int{0, 1, 4} {
+	// WorkersAuto rides along: the tuner and its wall-time probe must stay
+	// allocation-free too (on a single-core box it degenerates to the
+	// inline engine, which is equally worth pinning).
+	for _, workers := range []int{0, 1, 4, WorkersAuto} {
 		allocs := func(rounds int) float64 {
 			return testing.AllocsPerRun(5, func() {
 				g := gen.Star(64)
@@ -314,24 +317,27 @@ func TestEngineSteadyStateAllocsDirected(t *testing.T) {
 
 // TestNewEngineLayout is the satellite table for degenerate engine inputs:
 // n smaller than one shard (including 0 and 1) must yield a single shard
-// covering exactly [0, n), worker counts outside [1, numShards] must clamp,
-// and a negative n must panic instead of building a nonsense layout.
+// covering exactly [0, n), worker counts outside [1, numShards] must clamp
+// (with the effective count in active and only truly-parallel pools
+// spawning goroutines), and a negative n must panic instead of building a
+// nonsense layout.
 func TestNewEngineLayout(t *testing.T) {
 	cases := []struct {
 		name        string
 		n, workers  int
 		wantShards  int
-		wantWorkers int
+		wantActive  int // effective per-round worker count
+		wantSpawned int // started goroutines (0 = rounds run inline)
 	}{
-		{"empty graph", 0, 4, 1, 1},
-		{"single node", 1, 4, 1, 1},
-		{"below one shard", 3, 16, 1, 1},
-		{"exactly one shard", 32, 2, 1, 1},
-		{"one past a shard", 33, 2, 2, 2},
-		{"many shards few workers", 256, 3, 8, 3},
-		{"workers above shards", 64, 100, 2, 2},
-		{"zero workers clamp", 96, 0, 3, 1},
-		{"negative workers clamp", 96, -7, 3, 1},
+		{"empty graph", 0, 4, 1, 1, 0},
+		{"single node", 1, 4, 1, 1, 0},
+		{"below one shard", 3, 16, 1, 1, 0},
+		{"exactly one shard", 32, 2, 1, 1, 0},
+		{"one past a shard", 33, 2, 2, 2, 2},
+		{"many shards few workers", 256, 3, 8, 3, 3},
+		{"workers above shards", 64, 100, 2, 2, 2},
+		{"zero workers clamp", 96, 0, 3, 1, 0},
+		{"negative workers clamp", 96, -7, 3, 1, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -340,9 +346,13 @@ func TestNewEngineLayout(t *testing.T) {
 			if len(e.shards) != tc.wantShards {
 				t.Fatalf("n=%d: %d shards want %d", tc.n, len(e.shards), tc.wantShards)
 			}
-			if e.workers != tc.wantWorkers {
-				t.Fatalf("n=%d workers=%d: engine workers %d want %d",
-					tc.n, tc.workers, e.workers, tc.wantWorkers)
+			if e.active != tc.wantActive {
+				t.Fatalf("n=%d workers=%d: active workers %d want %d",
+					tc.n, tc.workers, e.active, tc.wantActive)
+			}
+			if e.workers != tc.wantSpawned {
+				t.Fatalf("n=%d workers=%d: spawned workers %d want %d",
+					tc.n, tc.workers, e.workers, tc.wantSpawned)
 			}
 			// The shards partition [0, n) exactly: contiguous, non-overlapping,
 			// clamped to n, never negative-width.

@@ -43,6 +43,29 @@
 //     goroutines, and Workers > 1 spreads them over worker goroutines that
 //     stay parked between rounds (and between session steps) with two
 //     synchronization points per round.
+//   - Workers == WorkersAuto runs the sharded engine with an adaptive
+//     worker count: a per-round cost probe (act-phase wall time, proposals
+//     buffered, edges committed) drives a hill-climbing tuner that grows or
+//     shrinks the number of goroutines signaled each round within
+//     [1, min(GOMAXPROCS, shards)]. The shard layout and streams are the
+//     same fixed ones, so every autoscaled run is bit-identical to every
+//     fixed Workers >= 1 run — only the wall-clock schedule adapts. The
+//     chosen schedule is observable through Session.EngineStats and
+//     RoundDelta.ActiveWorkers, which are telemetry and deliberately NOT
+//     part of Result (Result is schedule-free by contract).
+//
+// # The parallel trial harness
+//
+// Independent trials are executed on a bounded trial pool (trials.go):
+// Trials / DirectedTrials / TrialsAggregate saturate GOMAXPROCS by default,
+// and the *On variants (TrialsOn, DirectedTrialsOn, TrialsAggregateOn) cap
+// the number of concurrently running trials. Per-trial generators are
+// sequential splits of the root taken before any work is dispatched, and
+// TrialsAggregate merges per-round aggregates in trial order after the pool
+// drains, so every output — results and aggregate series — is byte-identical
+// for every pool size, including the strictly sequential pool of one.
+// Autoscaled engines inside concurrently running trials compose: each
+// trial's tuner sees that trial's own rounds.
 //
 // Both engines allocate only at session start: propose closures are hoisted
 // out of the per-node loop, and proposal buffers are reused across rounds,
@@ -77,6 +100,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"gossipdisc/internal/core"
@@ -107,19 +131,72 @@ func (m CommitMode) String() string {
 	}
 }
 
+// WorkersAuto is the Config.Workers / DirectedConfig.Workers sentinel that
+// selects the sharded engine with adaptive worker autoscaling: the engine
+// measures each round's cost and grows or shrinks the active worker count
+// within [1, min(GOMAXPROCS, shards)] between rounds. Results are
+// bit-identical to every fixed Workers >= 1 run — the shard layout and
+// per-shard streams are the same — so autoscaling is purely a wall-clock
+// decision; the chosen schedule is observable through Session.EngineStats
+// and RoundDelta.ActiveWorkers.
+//
+// The sentinel is deliberately NOT -1: every negative worker count used to
+// fall through to the sequential engine (and -1 means GOMAXPROCS in the
+// CLIs), so a stale caller passing -1 must hit validateWorkers' fail-fast
+// panic rather than silently switch engine families. Always spell it
+// WorkersAuto.
+const WorkersAuto = math.MinInt
+
+// EngineStats is schedule telemetry for a session's round engine, read
+// through Session.EngineStats / DirectedSession.EngineStats. It is kept off
+// Result on purpose: Result is bit-identical across worker schedules by
+// contract, while EngineStats describes the schedule itself.
+type EngineStats struct {
+	// ConfiguredWorkers echoes Config.Workers as given (WorkersAuto when
+	// autoscaling was requested).
+	ConfiguredWorkers int
+	// EffectiveWorkers is the worker count the next act phase will use:
+	// the post-clamp fixed count (newEngine clamps requests onto
+	// [1, Shards] — a request above the shard count cannot do more work
+	// than one goroutine per shard), or the autoscaler's current active
+	// count. 0 under the sequential (Workers == 0) engine and for eager
+	// sessions, which have no sharded act phase.
+	EffectiveWorkers int
+	// SpawnedWorkers is the number of worker goroutines backing the engine
+	// — the autoscaler's ceiling. 0 when every round runs inline
+	// (effective count 1, or no sharded engine at all).
+	SpawnedWorkers int
+	// Shards is the number of fixed 32-node shards of the layout (0 when
+	// no sharded engine applies).
+	Shards int
+	// Autoscaled reports whether the worker count adapts between rounds.
+	// It is false — even under WorkersAuto — when the pool degenerated to
+	// a single worker (GOMAXPROCS 1, or a graph of at most one shard):
+	// there is nothing to adapt, and rounds run inline.
+	Autoscaled bool
+	// ScaleUps / ScaleDowns count the autoscaler's grow and shrink
+	// decisions so far. Both 0 for fixed schedules.
+	ScaleUps   int
+	ScaleDowns int
+}
+
 // Config controls a single run or session.
 type Config struct {
 	// MaxRounds aborts the run after this many rounds. 0 means a generous
-	// default of 500·n·(log₂n+1)² rounds, far beyond the w.h.p. bounds; a
+	// default of 500·n·(log₂n+1)² rounds, far beyond the w.h.p. bounds; any
 	// negative value means unbounded and is meaningful only for stepped
-	// Sessions (open-ended dynamics such as churn never converge).
+	// Sessions (open-ended dynamics such as churn never converge) — the
+	// Run facade normalizes negatives back to the default budget.
 	MaxRounds int
 	// Mode selects the commit semantics (default CommitSynchronous).
 	Mode CommitMode
 	// Workers selects the round engine. 0 (default) is the classic
 	// sequential engine; w >= 1 shards each round over w goroutines with
 	// results identical for every w >= 1 (see the package comment for the
-	// determinism contract). Ignored under CommitEager.
+	// determinism contract); WorkersAuto autoscales the active worker
+	// count round to round with the same bit-identical results. Any other
+	// negative value is junk and panics at session construction. Ignored
+	// under CommitEager.
 	Workers int
 	// DensePhase, when in (0, 1], arms the dense-phase engine mode: once
 	// the number of missing node pairs drops to DensePhase × n(n-1)/2, the
@@ -172,6 +249,19 @@ type Result struct {
 	DuplicateProposals int
 }
 
+// validateWorkers rejects junk worker counts with a clear panic at session
+// construction, so library callers fail fast instead of tripping over
+// incidental downstream behavior (cmd/gossipsim's flag validation used to
+// be the only gate). 0, every positive count, and WorkersAuto are valid;
+// every other negative value is a caller bug.
+func validateWorkers(workers int, field string) {
+	if workers < 0 && workers != WorkersAuto {
+		panic(fmt.Sprintf(
+			"sim: %s = %d is not a worker count (0 = sequential engine, >= 1 = sharded, WorkersAuto = autoscaled)",
+			field, workers))
+	}
+}
+
 // DefaultMaxRounds returns the default round budget for an n-node graph:
 // 500·n·(log₂n+1)² with log₂ rounded up to the bit length, comfortably
 // above the paper's O(n log² n) w.h.p. bound.
@@ -206,7 +296,9 @@ type DirectedConfig struct {
 	MaxRounds int
 	// Mode selects commit semantics (default CommitSynchronous).
 	Mode CommitMode
-	// Workers selects the round engine, exactly as Config.Workers.
+	// Workers selects the round engine, exactly as Config.Workers
+	// (including the WorkersAuto autoscaling sentinel and the junk-value
+	// panic at session construction).
 	Workers int
 	// DensePhase, when in (0, 1], arms the directed dense-phase mode: once
 	// the number of still-missing transitive-closure arcs drops to

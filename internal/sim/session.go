@@ -114,12 +114,17 @@ type Session struct {
 
 // NewSession constructs a resumable session over g. The session owns the
 // run exactly as Run does: p acts on g under cfg's commit semantics and
-// engine family, drawing every random choice from r (or, for Workers >= 1,
-// from r's sequential splits). Nothing is consumed from r until the first
-// step. cfg.MaxRounds keeps its Run semantics (0 selects the default
-// budget) with one session-only extension: a negative MaxRounds means
-// unbounded, for open-ended stepping under churn.
+// engine family, drawing every random choice from r (or, for Workers >= 1
+// and WorkersAuto, from r's sequential splits). Nothing is consumed from r
+// until the first step. cfg.MaxRounds keeps its Run semantics (0 selects
+// the default budget) with one session-only extension: any negative
+// MaxRounds means unbounded, for open-ended stepping under churn.
+//
+// Junk configuration fails fast here rather than misbehaving downstream: a
+// negative Workers other than WorkersAuto and a DensePhase outside [0, 1]
+// panic with a clear message (TestNewSessionRejectsJunkConfig).
 func NewSession(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) *Session {
+	validateWorkers(cfg.Workers, "Config.Workers")
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = DefaultMaxRounds(g.N())
@@ -161,7 +166,7 @@ func NewSession(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) *S
 // facade's semantics. A session resumed by a membership mutation after
 // finishing at entry dispatches here too.
 func (s *Session) dispatch() {
-	if s.mode == CommitSynchronous && s.workers >= 1 {
+	if s.mode == CommitSynchronous && (s.workers >= 1 || s.workers == WorkersAuto) {
 		s.eng = newEngine(s.g.N(), s.workers, s.r)
 		s.engAct = func(sh *shard) {
 			if s.dense {
@@ -226,6 +231,7 @@ func (s *Session) step() bool {
 	}
 	round := s.res.Rounds + 1
 	s.buf, s.accepted = s.buf[:0], s.accepted[:0]
+	actWorkers := 0
 
 	if s.eng != nil {
 		// Sharded act phase, then commit the shard buffers in shard order
@@ -244,6 +250,10 @@ func (s *Session) step() bool {
 		s.res.Proposals += roundProposals
 		s.res.NewEdges += len(acc)
 		s.res.DuplicateProposals += roundProposals - len(acc)
+		// Snapshot the count that served this round for the delta's
+		// telemetry before tune moves it for the next one.
+		actWorkers = s.eng.active
+		s.eng.tune(roundProposals, len(acc))
 	} else {
 		n := s.g.N()
 		if s.dense {
@@ -278,6 +288,7 @@ func (s *Session) step() bool {
 		}
 		s.ds.fill(round, s.g, acc)
 		d := &s.ds.d
+		d.ActiveWorkers = actWorkers
 		d.Joined = append(d.Joined[:0], s.joined...)
 		d.Left = append(d.Left[:0], s.left...)
 		d.Members = s.members
@@ -460,8 +471,27 @@ func (s *Session) memberPairsMissing() int {
 // excluding u itself. O(1); see graph.Undirected.MissingDegree.
 func (s *Session) MissingDegree(u int) int { return s.g.MissingDegree(u) }
 
-// Stats returns a snapshot of the cumulative run statistics. O(1).
+// Stats returns a snapshot of the cumulative run statistics. O(1). Result
+// is bit-identical across worker schedules by contract; the schedule
+// itself — effective worker count, autoscaling decisions — is read through
+// EngineStats.
 func (s *Session) Stats() Result { return s.res }
+
+// EngineStats returns the session's schedule telemetry: the configured and
+// effective worker counts (newEngine clamps fixed requests onto
+// [1, shards]), the shard count, and — for WorkersAuto sessions — the
+// autoscaler's current active count and grow/shrink decision counts. O(1).
+// Before the first step the values describe the schedule the engine will
+// start with.
+func (s *Session) EngineStats() EngineStats {
+	if s.mode != CommitSynchronous || s.workers == 0 {
+		return EngineStats{ConfiguredWorkers: s.workers}
+	}
+	if s.eng != nil {
+		return s.eng.stats(s.workers)
+	}
+	return prospectiveEngineStats(s.workers, s.g.N())
+}
 
 // Converged reports whether the Done predicate has fired.
 func (s *Session) Converged() bool { return s.res.Converged }

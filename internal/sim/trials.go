@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -12,21 +13,37 @@ import (
 // This file implements the parallel multi-trial runner. Trials are
 // embarrassingly parallel; the only care needed is determinism: every trial
 // derives its generator by splitting a root generator *sequentially* before
-// any work is dispatched, so results are identical regardless of
-// GOMAXPROCS or scheduling.
+// any work is dispatched, so results are identical regardless of the trial
+// pool size, GOMAXPROCS, or scheduling. The pool itself is bounded: the
+// plain entry points saturate GOMAXPROCS, and the *On variants let callers
+// cap how many trials run concurrently — down to a strictly sequential
+// pool of one, which runs the trials inline in trial order.
 
-// Trials executes numTrials independent runs of p and returns the per-trial
-// results in trial order.
+// Trials executes numTrials independent runs of p on a GOMAXPROCS-wide
+// trial pool and returns the per-trial results in trial order. It is
+// TrialsOn with the default pool.
 //
 // build receives the trial index and a trial-private generator and must
 // return a fresh initial graph. The same generator (advanced past build's
 // consumption) then drives the process, so a trial is one deterministic
 // function of (seed, trial index) — including cfg.Workers: the sharded
 // engine is deterministic per run, so its results stay reproducible here.
-// Note that trials already saturate GOMAXPROCS, so cfg.Workers > 1 inside a
-// large batch oversubscribes the machine; per-run workers pay off for a few
-// large-n runs, trial-level parallelism for many small ones.
+// Note that the default pool already saturates GOMAXPROCS, so fixed
+// cfg.Workers > 1 inside a large batch oversubscribes the machine;
+// WorkersAuto sidesteps the tradeoff (each trial's engine scales itself to
+// whatever the box has to spare), while fixed per-run workers pay off for
+// a few large-n runs and trial-level parallelism for many small ones.
 func Trials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Undirected,
+	p core.Process, cfg Config) []Result {
+	return TrialsOn(0, numTrials, seed, build, p, cfg)
+}
+
+// TrialsOn is Trials on a bounded trial pool: at most trialWorkers trials
+// run concurrently (0 = GOMAXPROCS; 1 = strictly sequential, inline in
+// trial order; negative panics). Results are identical for every pool
+// size — the per-trial generators are sequential splits taken before any
+// work is dispatched.
+func TrialsOn(trialWorkers, numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Undirected,
 	p core.Process, cfg Config) []Result {
 
 	root := rng.New(seed)
@@ -36,7 +53,7 @@ func Trials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *grap
 	}
 
 	results := make([]Result, numTrials)
-	parallelFor(numTrials, func(i int) {
+	parallelFor(trialWorkers, numTrials, func(i int) {
 		r := gens[i]
 		g := build(i, r)
 		results[i] = Run(g, p, r, cfg)
@@ -47,6 +64,12 @@ func Trials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *grap
 // DirectedTrials is the directed analogue of Trials.
 func DirectedTrials(numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Directed,
 	p core.DirectedProcess, cfg DirectedConfig) []DirectedResult {
+	return DirectedTrialsOn(0, numTrials, seed, build, p, cfg)
+}
+
+// DirectedTrialsOn is the directed analogue of TrialsOn.
+func DirectedTrialsOn(trialWorkers, numTrials int, seed uint64, build func(trial int, r *rng.Rand) *graph.Directed,
+	p core.DirectedProcess, cfg DirectedConfig) []DirectedResult {
 
 	root := rng.New(seed)
 	gens := make([]*rng.Rand, numTrials)
@@ -55,7 +78,7 @@ func DirectedTrials(numTrials int, seed uint64, build func(trial int, r *rng.Ran
 	}
 
 	results := make([]DirectedResult, numTrials)
-	parallelFor(numTrials, func(i int) {
+	parallelFor(trialWorkers, numTrials, func(i int) {
 		r := gens[i]
 		g := build(i, r)
 		results[i] = RunDirected(g, p, r, cfg)
@@ -63,10 +86,17 @@ func DirectedTrials(numTrials int, seed uint64, build func(trial int, r *rng.Ran
 	return results
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers fed
-// from a shared channel.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool fed from
+// a shared channel: workers == 0 selects GOMAXPROCS, 1 runs inline in
+// index order, and negative worker counts panic (they are always a caller
+// bug; the exported trial entry points document the contract).
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers < 0 {
+		panic(fmt.Sprintf("sim: trial pool of %d workers (0 = GOMAXPROCS, 1 = sequential)", workers))
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -97,15 +97,71 @@ func TestAllConvergedFalse(t *testing.T) {
 }
 
 func TestParallelForCoversAll(t *testing.T) {
-	for _, n := range []int{0, 1, 7, 100} {
-		hit := make([]bool, n)
-		parallelFor(n, func(i int) { hit[i] = true })
-		for i, h := range hit {
-			if !h {
-				t.Fatalf("n=%d: index %d not visited", n, i)
+	for _, workers := range []int{0, 1, 3} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hit := make([]bool, n)
+			parallelFor(workers, n, func(i int) { hit[i] = true })
+			for i, h := range hit {
+				if !h {
+					t.Fatalf("workers=%d n=%d: index %d not visited", workers, n, i)
+				}
 			}
 		}
 	}
+}
+
+func TestParallelForRejectsNegativePool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a negative trial pool")
+		}
+	}()
+	parallelFor(-2, 4, func(i int) {})
+}
+
+// TestTrialsOnPoolInvariance: per-trial generators are split before any
+// work is dispatched, so the pool size — sequential, bounded, or the
+// GOMAXPROCS default — cannot influence any trial's result. The directed
+// harness shares the contract.
+func TestTrialsOnPoolInvariance(t *testing.T) {
+	build := func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.RandomTree(40, r)
+	}
+	seq := TrialsOn(1, 7, 21, build, core.Push{}, Config{})
+	for _, pool := range []int{2, 0} {
+		got := TrialsOn(pool, 7, 21, build, core.Push{}, Config{})
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("pool=%d trial %d: %+v != sequential %+v", pool, i, got[i], seq[i])
+			}
+		}
+	}
+
+	dbuild := func(trial int, r *rng.Rand) *graph.Directed {
+		return gen.RandomStronglyConnected(24, 8, r)
+	}
+	dseq := DirectedTrialsOn(1, 5, 9, dbuild, core.DirectedTwoHop{}, DirectedConfig{})
+	for _, pool := range []int{2, 0} {
+		got := DirectedTrialsOn(pool, 5, 9, dbuild, core.DirectedTwoHop{}, DirectedConfig{})
+		for i := range dseq {
+			if got[i] != dseq[i] {
+				t.Fatalf("directed pool=%d trial %d differs", pool, i)
+			}
+		}
+	}
+}
+
+// TestTrialsOnRejectsNegativePool: a negative pool bound is always a caller
+// bug, caught at the entry point.
+func TestTrialsOnRejectsNegativePool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a negative trial pool")
+		}
+	}()
+	TrialsOn(-1, 2, 1, func(trial int, r *rng.Rand) *graph.Undirected {
+		return gen.Cycle(6)
+	}, core.Push{}, Config{})
 }
 
 func TestTrialsSingleTrial(t *testing.T) {

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// This file is the satellite table for library-level config validation:
+// junk values used to sail into the engines and misbehave downstream
+// (cmd/gossipsim's flag validation was the only gate), so the session
+// constructors now reject them with a clear panic — or normalize them when
+// the contract defines a meaning, as it does for negative budgets.
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a construction panic, got none")
+		}
+		msg, _ = r.(string)
+	}()
+	fn()
+	return
+}
+
+// TestNewSessionRejectsJunkConfig: negative worker counts other than
+// WorkersAuto panic at construction, for all three session families'
+// constructors that take workers, with messages naming the field.
+func TestNewSessionRejectsJunkConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		// -1 is deliberately junk at the library surface: it used to fall
+		// through to the sequential engine (and means GOMAXPROCS in the
+		// CLIs), so WorkersAuto lives at math.MinInt and a stale -1 caller
+		// fails fast instead of silently switching engine families.
+		{"minus one", -1},
+		{"minus two", -2},
+		{"large negative", -99},
+	}
+	for _, tc := range cases {
+		t.Run("undirected "+tc.name, func(t *testing.T) {
+			msg := mustPanic(t, func() {
+				NewSession(gen.Cycle(8), core.Push{}, rng.New(1), Config{Workers: tc.workers})
+			})
+			if !strings.Contains(msg, "Config.Workers") {
+				t.Fatalf("panic %q does not name Config.Workers", msg)
+			}
+		})
+		t.Run("directed "+tc.name, func(t *testing.T) {
+			msg := mustPanic(t, func() {
+				NewDirectedSession(gen.DirectedCycle(8), core.DirectedTwoHop{}, rng.New(1),
+					DirectedConfig{Workers: tc.workers})
+			})
+			if !strings.Contains(msg, "DirectedConfig.Workers") {
+				t.Fatalf("panic %q does not name DirectedConfig.Workers", msg)
+			}
+		})
+	}
+
+	t.Run("facades validate too", func(t *testing.T) {
+		mustPanic(t, func() {
+			Run(gen.Cycle(8), core.Push{}, rng.New(1), Config{Workers: -3})
+		})
+		mustPanic(t, func() {
+			RunDirected(gen.DirectedCycle(8), core.DirectedTwoHop{}, rng.New(1), DirectedConfig{Workers: -3})
+		})
+	})
+
+	t.Run("valid worker counts construct", func(t *testing.T) {
+		for _, w := range []int{0, 1, 7, WorkersAuto} {
+			s := NewSession(gen.Cycle(8), core.Push{}, rng.New(1), Config{Workers: w})
+			s.Close()
+			d := NewDirectedSession(gen.DirectedCycle(8), core.DirectedTwoHop{}, rng.New(1),
+				DirectedConfig{Workers: w})
+			d.Close()
+		}
+	})
+}
+
+// TestSessionMaxRoundsNormalization: every negative MaxRounds — not just
+// -1 — means unbounded for a stepped session; the facade folds negatives
+// back to the default budget. Both are normalizations, not errors, so junk
+// like MaxRounds = -7 behaves identically to -1 instead of misbehaving.
+func TestSessionMaxRoundsNormalization(t *testing.T) {
+	never := func(g *graph.Undirected) bool { return false }
+	budgetOf := func(maxRounds int) int {
+		s := NewSession(gen.Cycle(16), core.Push{}, rng.New(1),
+			Config{MaxRounds: maxRounds, Done: never})
+		defer s.Close()
+		for i := 0; i < 40 && s.step(); i++ {
+		}
+		return s.Stats().Rounds
+	}
+	// Unbounded sessions keep stepping; a positive budget stops exactly
+	// there. -1 and -7 must behave identically.
+	if r := budgetOf(-1); r != 40 {
+		t.Fatalf("MaxRounds=-1 stopped after %d rounds, want 40 (unbounded)", r)
+	}
+	if r := budgetOf(-7); r != 40 {
+		t.Fatalf("MaxRounds=-7 stopped after %d rounds, want 40 (unbounded)", r)
+	}
+	if r := budgetOf(5); r != 5 {
+		t.Fatalf("MaxRounds=5 ran %d rounds", r)
+	}
+
+	// The directed sessions share the normalization.
+	d := NewDirectedSession(gen.DirectedCycle(12), core.DirectedTwoHop{}, rng.New(1),
+		DirectedConfig{MaxRounds: -7, Done: func(g *graph.Directed) bool { return false }})
+	defer d.Close()
+	for i := 0; i < 30 && d.step(); i++ {
+	}
+	if r := d.Stats().Rounds; r != 30 {
+		t.Fatalf("directed MaxRounds=-7 stopped after %d rounds, want 30 (unbounded)", r)
+	}
+}
+
+// TestDensePhaseOutOfRangePanics: the [0, 1] gate lives in the same
+// fail-fast layer (it predates this table; pinned here alongside the rest).
+func TestDensePhaseOutOfRangePanics(t *testing.T) {
+	mustPanic(t, func() {
+		NewSession(gen.Cycle(8), core.Push{}, rng.New(1), Config{DensePhase: 1.5})
+	})
+	mustPanic(t, func() {
+		NewDirectedSession(gen.DirectedCycle(8), core.DirectedTwoHop{}, rng.New(1),
+			DirectedConfig{DensePhase: -0.2})
+	})
+}

@@ -80,10 +80,26 @@ func WithRand(r *Rand) SessionOption {
 
 // WithWorkers selects the round engine: 0 (default) the classic sequential
 // engine, w >= 1 the sharded engine with results bit-identical for every
-// w >= 1. Sessions with w > 1 park worker goroutines between steps —
+// w >= 1 (WorkersAuto — equivalently WithAutoWorkers — autoscales the
+// count with the same results; any other negative w panics at
+// construction). Sessions with w > 1 park worker goroutines between steps —
 // Close releases them.
 func WithWorkers(w int) SessionOption {
 	return func(o *sessionOptions) { o.cfg.Workers = w; o.dcfg.Workers = w }
+}
+
+// WithAutoWorkers selects the sharded engine with adaptive worker
+// autoscaling: the engine probes each round's cost (act-phase wall time,
+// proposals, commits) and grows or shrinks the active worker count within
+// [1, min(GOMAXPROCS, shards)] between rounds — early sparse rounds run
+// inline, late dense rounds fan out. Results are bit-identical to every
+// fixed WithWorkers(w >= 1) run: the shard layout and per-shard generator
+// streams are fixed, so only the wall-clock schedule adapts. Observe the
+// schedule through Session.EngineStats and RoundDelta.ActiveWorkers.
+// Sessions created with this option park worker goroutines between steps —
+// defer Close.
+func WithAutoWorkers() SessionOption {
+	return func(o *sessionOptions) { o.cfg.Workers = sim.WorkersAuto; o.dcfg.Workers = sim.WorkersAuto }
 }
 
 // WithDensePhase arms the dense-phase engine mode with the given
@@ -199,6 +215,17 @@ func NewAsyncSession(g *Graph, opts ...SessionOption) *AsyncSession {
 	return sim.NewAsyncSession(g, o.proc, o.r, acfg)
 }
 
+// WorkersAuto is the Config.Workers / DirectedConfig.Workers sentinel for
+// adaptive worker autoscaling; WithAutoWorkers sets it for option-built
+// sessions. See sim.WorkersAuto for the contract.
+const WorkersAuto = sim.WorkersAuto
+
+// EngineStats is the schedule telemetry returned by Session.EngineStats and
+// DirectedSession.EngineStats: configured vs effective worker count, shard
+// count, and the autoscaler's decisions. It is deliberately separate from
+// Result, which stays bit-identical across worker schedules.
+type EngineStats = sim.EngineStats
+
 // Cross-trial aggregation (see internal/sim/aggregate.go): TrialsAggregate
 // runs trials exactly as Trials does while streaming per-round cross-trial
 // aggregates from the delta pipeline.
@@ -208,7 +235,9 @@ type RoundAggregate = sim.RoundAggregate
 // returns both the per-trial results (bit-identical to Trials) and the
 // streamed per-round cross-trial aggregates (mean/CI95 minimum degree,
 // dissemination rate, mean edge fraction) without storing any per-trial
-// snapshot series.
+// snapshot series. Trials run on a GOMAXPROCS-wide pool; both outputs are
+// byte-identical to a strictly sequential harness (sim.TrialsAggregateOn
+// exposes the pool bound).
 func TrialsAggregate(numTrials int, seed uint64, build func(trial int, r *Rand) *Graph, p Process) ([]Result, []RoundAggregate) {
 	return sim.TrialsAggregate(numTrials, seed, build, p, sim.Config{})
 }
