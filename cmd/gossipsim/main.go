@@ -21,6 +21,8 @@ import (
 	"gossipdisc/internal/gen"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/metrics"
+	"gossipdisc/internal/netsim"
+	"gossipdisc/internal/protocol"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
 	"gossipdisc/internal/stats"
@@ -41,6 +43,7 @@ func main() {
 		traceAt      = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off; trial 0 is driven step-wise through the session API)")
 		failProb     = flag.Float64("fail", 0, "connection failure probability (0..1)")
 		dense        = flag.Float64("dense", 0, "dense-phase threshold fraction in (0,1]: sample missing edges once remaining work drops below this fraction (0 = off; -mode sync only)")
+		scenarioPath = flag.String("scenario", "", "JSON chaos-scenario file: runs the wire-level message-passing stack under the scenario's impairments (-process push|pull; see examples/chaos-lab)")
 		list         = flag.Bool("list", false, "list workload families and exit")
 	)
 	flag.Parse()
@@ -59,9 +62,15 @@ func main() {
 		process: *process, family: *family, dfamily: *dfamily, mode: *mode,
 		n: *n, trials: *trials, seed: *seed, workers: *workers,
 		rounds: *roundsBudget, traceAt: *traceAt, fail: *failProb, dense: *dense,
+		scenario: *scenarioPath,
 	}
 	if err := opts.validate(); err != nil {
 		fatalf("%v", err)
+	}
+
+	if *scenarioPath != "" {
+		runWire(*process, *family, *n, *trials, *seed, *roundsBudget, *scenarioPath)
+		return
 	}
 
 	commit := sim.CommitSynchronous
@@ -197,6 +206,70 @@ func main() {
 	}
 	sum := stats.Summarize(rounds)
 	fn := float64(*n)
+	fmt.Printf("\nrounds: %s   rounds/(n ln n)=%.3f   rounds/(n ln² n)=%.3f\n",
+		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
+}
+
+// runWire executes the wire-level message-passing stack (protocol.Cluster
+// on netsim) under a chaos scenario: every trial is replayable from
+// (seed, scenario file), and the table reports the wire's own traffic and
+// impairment counters next to the discovery round count.
+func runWire(process, family string, n, trials int, seed uint64, budget int, path string) {
+	scn, err := netsim.LoadScenario(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := scn.Validate(n); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	proto := protocol.ProtoPush
+	if process == "pull" {
+		proto = protocol.ProtoPull
+	}
+	fam, err := gen.FamilyByName(family)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if n < fam.MinN {
+		fatalf("family %q needs n >= %d", fam.Name, fam.MinN)
+	}
+	maxRounds := budget
+	if maxRounds == 0 {
+		maxRounds = sim.DefaultMaxRounds(n)
+	}
+	name := scn.Name
+	if name == "" {
+		name = path
+	}
+	root := rng.New(seed)
+	tbl := trace.NewTable(
+		fmt.Sprintf("%s wire protocol on %s, n=%d, scenario=%s", proto, fam.Name, n, name),
+		"trial", "rounds", "converged", "sent", "dropped", "delivered", "delayed", "dup", "reorder")
+	var rounds []float64
+	stopped := 0
+	for t := 0; t < trials; t++ {
+		r := root.Split()
+		g := fam.Generate(n, r)
+		cl := protocol.NewCluster(g, proto, netsim.Config{Seed: r.Uint64(), Scenario: scn})
+		rds, done := cl.Run(maxRounds)
+		st := cl.Net.Stats()
+		cl.Close()
+		if !done {
+			stopped++
+		}
+		rounds = append(rounds, float64(rds))
+		tbl.AddRow(trace.I(t), trace.I(rds), fmt.Sprint(done),
+			trace.I(int(st.Sent)), trace.I(int(st.Dropped)), trace.I(int(st.Delivered)),
+			trace.I(int(st.Delayed)), trace.I(int(st.Duplicated)), trace.I(int(st.Reordered)))
+	}
+	if stopped > 0 {
+		fmt.Printf("note: %d/%d trials stopped at the round budget before discovering everyone\n", stopped, trials)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+	sum := stats.Summarize(rounds)
+	fn := float64(n)
 	fmt.Printf("\nrounds: %s   rounds/(n ln n)=%.3f   rounds/(n ln² n)=%.3f\n",
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }

@@ -13,18 +13,19 @@ import (
 // workers is the raw flag string: "auto" selects the adaptive engine,
 // anything else must parse as an integer >= -1.
 type options struct {
-	process string
-	family  string
-	dfamily string
-	mode    string
-	n       int
-	trials  int
-	seed    uint64
-	workers string
-	rounds  int
-	traceAt int
-	fail    float64
-	dense   float64
+	process  string
+	family   string
+	dfamily  string
+	mode     string
+	n        int
+	trials   int
+	seed     uint64
+	workers  string
+	rounds   int
+	traceAt  int
+	fail     float64
+	dense    float64
+	scenario string
 }
 
 // workerCount resolves the -workers flag: auto == true selects the
@@ -86,6 +87,29 @@ func (o *options) validate() error {
 	}
 	if o.dense > 0 && o.fail > 0 {
 		return fmt.Errorf("-dense cannot be combined with -fail: dense rounds sample missing edges directly and bypass the process (and its failure model)")
+	}
+	if o.scenario != "" {
+		// -scenario runs the wire-level message-passing stack, which has
+		// its own scheduler and failure model: the centralized engine's
+		// knobs do not apply there.
+		if o.process != "push" && o.process != "pull" {
+			return fmt.Errorf("-scenario runs the wire-level protocol stack, which implements push and pull only (got -process %s)", o.process)
+		}
+		if o.mode != "sync" {
+			return fmt.Errorf("-scenario requires -mode sync: the wire simulator is inherently round-synchronous (got -mode %s)", o.mode)
+		}
+		if o.workers != "0" {
+			return fmt.Errorf("-scenario cannot be combined with -workers: the wire simulator schedules its own handler pool")
+		}
+		if o.dense > 0 {
+			return fmt.Errorf("-scenario cannot be combined with -dense: dense-phase sampling belongs to the centralized engine")
+		}
+		if o.fail > 0 {
+			return fmt.Errorf("-scenario cannot be combined with -fail: express loss as a scenario impairment instead")
+		}
+		if o.traceAt > 0 {
+			return fmt.Errorf("-scenario cannot be combined with -trace: trajectories ride the centralized session API")
+		}
 	}
 	return nil
 }

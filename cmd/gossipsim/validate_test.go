@@ -47,6 +47,19 @@ func TestValidateOptions(t *testing.T) {
 		{"dense above one", func(o *options) { o.dense = 1.01 }, "-dense"},
 		{"negative dense", func(o *options) { o.dense = -0.5 }, "-dense"},
 		{"dense with fail", func(o *options) { o.dense = 0.3; o.fail = 0.4 }, "-dense"},
+
+		{"scenario push", func(o *options) { o.scenario = "chaos.json" }, ""},
+		{"scenario pull", func(o *options) { o.scenario = "chaos.json"; o.process = "pull" }, ""},
+		{"scenario with rounds budget", func(o *options) { o.scenario = "chaos.json"; o.rounds = 50 }, ""},
+		{"scenario directed", func(o *options) { o.scenario = "chaos.json"; o.process = "directed" }, "-scenario"},
+		{"scenario push-pull", func(o *options) { o.scenario = "chaos.json"; o.process = "push-pull" }, "-scenario"},
+		{"scenario async", func(o *options) { o.scenario = "chaos.json"; o.mode = "async" }, "-mode sync"},
+		{"scenario eager", func(o *options) { o.scenario = "chaos.json"; o.mode = "eager" }, "-mode sync"},
+		{"scenario with workers", func(o *options) { o.scenario = "chaos.json"; o.workers = "4" }, "-workers"},
+		{"scenario with auto workers", func(o *options) { o.scenario = "chaos.json"; o.workers = "auto" }, "-workers"},
+		{"scenario with dense", func(o *options) { o.scenario = "chaos.json"; o.dense = 0.2 }, "-dense"},
+		{"scenario with fail", func(o *options) { o.scenario = "chaos.json"; o.fail = 0.1 }, "-fail"},
+		{"scenario with trace", func(o *options) { o.scenario = "chaos.json"; o.traceAt = 5 }, "-trace"},
 	}
 	t.Run("worker count resolution", func(t *testing.T) {
 		o := good()

@@ -60,6 +60,7 @@ func runProtocol(cfg Config, w io.Writer) error {
 				Seed: seed + uint64(trial) + 1,
 			})
 			rounds, done := cl.Run(sim.DefaultMaxRounds(n))
+			cl.Close()
 			if !done {
 				return fmt.Errorf("E13 proto %s trial %d: did not converge", pr.proto, trial)
 			}

@@ -5,21 +5,26 @@
 // The model matches the paper's: computation proceeds in synchronous
 // rounds; a message sent in round t is delivered at the start of round t+1;
 // each message carries at most one node identifier (⌈log₂ n⌉ bits) plus a
-// constant-size header. The simulator meters messages and bits, and can
-// drop messages independently at a configurable rate for the robustness
-// experiments.
+// constant-size header. The simulator meters messages and bits, and an
+// optional chaos Scenario (see scenario.go) impairs the wire between
+// routing and delivery: per-link loss, fixed+jittered delay, reordering,
+// duplication, asymmetric links, partitions that heal, and crash/restart
+// churn — all timed in phases and all replayable bit-for-bit from
+// (seed, scenario). The legacy Config.DropProb coin is the trivial
+// scenario (uniform i.i.d. loss, see DropScenario), kept on its own
+// historical rng stream so pre-scenario runs replay unchanged.
 //
-// Nodes execute concurrently, one goroutine per node, with channel-based
-// round barriers — node handlers only ever touch their own state and their
-// round's inbox, so the execution is race-free, and determinism is
-// preserved by per-node split generators and by sorting message routing by
-// sender.
+// Nodes execute concurrently on a persistent bounded worker pool — node
+// handlers only ever touch their own state and their round's inbox, so the
+// execution is race-free, and determinism is preserved by per-node split
+// generators, by sorting message routing by sender, and by drawing every
+// impairment decision from dedicated split streams in sender order.
 package netsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
-	"sync"
 
 	"gossipdisc/internal/rng"
 )
@@ -71,25 +76,59 @@ type Handler interface {
 	HandleRound(round int, inbox []Message, r *rng.Rand) []Message
 }
 
+// CrashAware is an optional Handler extension. When a Scenario crashes or
+// restarts a node, the network calls these hooks at the start of the
+// transition round (in node order, before any handler runs). While down, a
+// node's handler is not invoked, its generator is frozen, and messages
+// addressed to it are lost; its state survives the outage — what, if
+// anything, to discard on restart is the handler's decision.
+type CrashAware interface {
+	Crashed(round int)
+	Restarted(round int)
+}
+
 // Config controls a Network.
 type Config struct {
 	// DropProb drops each message independently with this probability
-	// before delivery.
+	// before the scenario pipeline runs. It is exactly the trivial
+	// scenario (DropScenario), but draws from its own historical rng
+	// stream so pre-scenario runs replay bit-identically.
 	DropProb float64
 	// Seed derives the network's internal generators (per-node handler
-	// generators and the drop coin).
+	// generators, the drop coin, and the scenario impairment streams).
 	Seed uint64
+	// Scenario optionally installs a chaos schedule on the wire.
+	// nil means a pristine wire (modulo DropProb).
+	Scenario *Scenario
+	// Workers bounds the persistent handler pool: 0 picks
+	// min(GOMAXPROCS, n); explicit counts are clamped to [1, n].
+	// Executions are identical for every value.
+	Workers int
 }
 
 // Stats meters network traffic.
 type Stats struct {
 	Rounds    int
 	Sent      int64 // messages handed to the network
-	Dropped   int64 // messages lost to DropProb
-	Delivered int64 // messages delivered to inboxes
+	Dropped   int64 // messages lost for any reason (coin, scenario loss, partition, crash)
+	Delivered int64 // message copies delivered to inboxes
 	// IDBits is the total identifier payload volume in bits: one
 	// ⌈log₂ n⌉-bit ID per message with a non-negative payload.
 	IDBits int64
+
+	// Scenario pipeline counters (all zero on a pristine wire).
+	PartitionDrops int64 // messages lost crossing an active partition
+	CrashDrops     int64 // messages lost to a receiver that was down at delivery
+	Delayed        int64 // copies buffered at least one extra round
+	Duplicated     int64 // extra copies created by duplication
+	Reordered      int64 // copies detached from sender-sorted inbox order
+}
+
+// queued is a message copy in flight, waiting for its delivery round.
+type queued struct {
+	msg     Message
+	reorder bool   // detached from the deterministic inbox sort
+	key     uint64 // random inbox position for reordered copies
 }
 
 // Network is a synchronous message-passing network over n nodes.
@@ -97,14 +136,34 @@ type Network struct {
 	n        int
 	cfg      Config
 	nodeRNGs []*rng.Rand
-	dropRNG  *rng.Rand
-	inboxes  [][]Message
-	stats    Stats
-	idBits   int
+	dropRNG  *rng.Rand // legacy DropProb coin (historical stream position)
+
+	// Scenario impairment streams, one per concern so scenarios compose
+	// without perturbing each other's draws. All are split from the root
+	// after the historical streams, so a nil scenario changes nothing.
+	lossRNG, delayRNG, dupRNG, reorderRNG *rng.Rand
+
+	scn     *compiledScenario
+	pending map[int][]queued // delivery round -> in-flight copies, arrival order
+	down    []bool           // crash state as of the last executed round
+	pool    *handlerPool
+	stats   Stats
+	idBits  int
 }
 
-// New returns a network of n nodes.
+// New returns a network of n nodes. It panics on a malformed Config: a
+// DropProb outside [0, 1] (or NaN), negative Workers, or a Scenario that
+// fails validation against n.
 func New(n int, cfg Config) *Network {
+	if math.IsNaN(cfg.DropProb) || cfg.DropProb < 0 || cfg.DropProb > 1 {
+		panic(fmt.Sprintf("netsim: DropProb %v is not a probability in [0, 1]", cfg.DropProb))
+	}
+	if cfg.Workers < 0 {
+		panic(fmt.Sprintf("netsim: negative Workers %d (0 = min(GOMAXPROCS, n))", cfg.Workers))
+	}
+	if err := cfg.Scenario.Validate(n); err != nil {
+		panic(fmt.Sprintf("netsim: invalid scenario: %v", err))
+	}
 	root := rng.New(cfg.Seed)
 	nodeRNGs := make([]*rng.Rand, n)
 	for i := range nodeRNGs {
@@ -119,8 +178,17 @@ func New(n int, cfg Config) *Network {
 		cfg:      cfg,
 		nodeRNGs: nodeRNGs,
 		dropRNG:  root.Split(),
-		inboxes:  make([][]Message, n),
-		idBits:   bits,
+		// Order matters: these must come after the historical splits so
+		// node and drop streams match pre-scenario runs byte-for-byte.
+		lossRNG:    root.Split(),
+		delayRNG:   root.Split(),
+		dupRNG:     root.Split(),
+		reorderRNG: root.Split(),
+		scn:        compileScenario(cfg.Scenario, n),
+		pending:    make(map[int][]queued),
+		down:       make([]bool, n),
+		pool:       newHandlerPool(n, cfg.Workers),
+		idBits:     bits,
 	}
 }
 
@@ -133,10 +201,19 @@ func (nw *Network) Stats() Stats { return nw.stats }
 // IDBits returns the width of one identifier on this network: ⌈log₂ n⌉.
 func (nw *Network) IDBits() int { return nw.idBits }
 
-// Round executes one synchronous round: it delivers the pending inboxes to
-// all handlers concurrently (one goroutine per node), collects their
-// outgoing messages, applies drops and metering, and enqueues survivors for
-// delivery next round.
+// Down reports whether node u is currently crashed by the scenario (as of
+// the last executed round).
+func (nw *Network) Down(u int) bool { return nw.down[u] }
+
+// Close releases the persistent handler pool. Rounds executed after Close
+// panic; Close is idempotent.
+func (nw *Network) Close() { nw.pool.close() }
+
+// Round executes one synchronous round: it applies scenario crash
+// transitions, delivers the copies due this round to all live handlers
+// concurrently (on the persistent bounded pool), collects their outgoing
+// messages, runs the impairment pipeline in sender order, and enqueues
+// surviving copies for their delivery rounds.
 func (nw *Network) Round(handlers []Handler) {
 	if len(handlers) != nw.n {
 		panic(fmt.Sprintf("netsim: %d handlers for %d nodes", len(handlers), nw.n))
@@ -144,19 +221,22 @@ func (nw *Network) Round(handlers []Handler) {
 	nw.stats.Rounds++
 	round := nw.stats.Rounds
 
-	outs := make([][]Message, nw.n)
-	var wg sync.WaitGroup
-	wg.Add(nw.n)
-	for u := 0; u < nw.n; u++ {
-		go func(u int) {
-			defer wg.Done()
-			outs[u] = handlers[u].HandleRound(round, nw.inboxes[u], nw.nodeRNGs[u])
-		}(u)
+	if nw.scn != nil && nw.scn.anyCrash {
+		nw.applyCrashTransitions(handlers, round)
 	}
-	wg.Wait()
 
-	next := make([][]Message, nw.n)
-	// Route in sender order so drop-coin consumption is deterministic.
+	inboxes := nw.buildInboxes(round)
+
+	outs := make([][]Message, nw.n)
+	nw.pool.run(nw.n, func(u int) {
+		if nw.down[u] {
+			return
+		}
+		outs[u] = handlers[u].HandleRound(round, inboxes[u], nw.nodeRNGs[u])
+	})
+
+	// Route in sender order so impairment-stream consumption is
+	// deterministic regardless of pool scheduling.
 	for u := 0; u < nw.n; u++ {
 		for _, m := range outs[u] {
 			if m.From != u {
@@ -173,20 +253,134 @@ func (nw *Network) Round(handlers []Handler) {
 				nw.stats.Dropped++
 				continue
 			}
-			nw.stats.Delivered++
-			next[m.To] = append(next[m.To], m)
+			if nw.scn == nil {
+				// Pristine fast path: next-round delivery, no draws.
+				nw.stats.Delivered++
+				nw.pending[round+1] = append(nw.pending[round+1], queued{msg: m})
+				continue
+			}
+			nw.routeImpaired(round, m)
 		}
 	}
-	// Deterministic inbox order regardless of routing details.
-	for u := range next {
-		sort.SliceStable(next[u], func(i, j int) bool {
-			if next[u][i].From != next[u][j].From {
-				return next[u][i].From < next[u][j].From
-			}
-			return next[u][i].Kind < next[u][j].Kind
-		})
+}
+
+// routeImpaired runs one message through the scenario pipeline. Draw order
+// per message is fixed (partition check, loss coin, first copy's
+// delay/jitter and reorder draws, duplicate coin, duplicate copy's draws)
+// so stream consumption depends only on the message sequence.
+func (nw *Network) routeImpaired(round int, m Message) {
+	if nw.scn.partitionedAt(round, m.From, m.To) {
+		nw.stats.Dropped++
+		nw.stats.PartitionDrops++
+		return
 	}
-	nw.inboxes = next
+	imp := nw.scn.impairmentAt(round, m.From, m.To)
+	if imp.Loss > 0 && nw.lossRNG.Bernoulli(imp.Loss) {
+		nw.stats.Dropped++
+		return
+	}
+	nw.enqueueCopy(round, m, imp)
+	if imp.Duplicate > 0 && nw.dupRNG.Bernoulli(imp.Duplicate) {
+		nw.stats.Duplicated++
+		nw.enqueueCopy(round, m, imp)
+	}
+}
+
+// enqueueCopy schedules one copy of m: it draws the copy's delay and
+// reorder decisions, then buffers it unless the receiver is down at the
+// delivery round.
+func (nw *Network) enqueueCopy(round int, m Message, imp Impairment) {
+	delay := imp.Delay
+	if imp.Jitter > 0 {
+		delay += nw.delayRNG.Intn(imp.Jitter + 1)
+	}
+	q := queued{msg: m}
+	if imp.Reorder > 0 && nw.reorderRNG.Bernoulli(imp.Reorder) {
+		q.reorder = true
+		q.key = nw.reorderRNG.Uint64()
+	}
+	deliverAt := round + 1 + delay
+	if nw.scn.crashedAt(m.To, deliverAt) {
+		nw.stats.Dropped++
+		nw.stats.CrashDrops++
+		return
+	}
+	if delay > 0 {
+		nw.stats.Delayed++
+	}
+	if q.reorder {
+		nw.stats.Reordered++
+	}
+	nw.stats.Delivered++
+	nw.pending[deliverAt] = append(nw.pending[deliverAt], q)
+}
+
+// buildInboxes assembles this round's inboxes from the in-flight queue:
+// per receiver, copies are sorted deterministically by (sender, kind) —
+// stable over arrival order, exactly the pre-scenario contract — and then
+// each reordered copy is reinserted at its random position.
+func (nw *Network) buildInboxes(round int) [][]Message {
+	inboxes := make([][]Message, nw.n)
+	batch := nw.pending[round]
+	if len(batch) == 0 {
+		delete(nw.pending, round)
+		return inboxes
+	}
+	perNode := make([][]queued, nw.n)
+	for _, q := range batch {
+		perNode[q.msg.To] = append(perNode[q.msg.To], q)
+	}
+	delete(nw.pending, round)
+	for u := range perNode {
+		qs := perNode[u]
+		if len(qs) == 0 {
+			continue
+		}
+		inbox := make([]Message, 0, len(qs))
+		var reordered []queued
+		for _, q := range qs {
+			if q.reorder {
+				reordered = append(reordered, q)
+				continue
+			}
+			inbox = append(inbox, q.msg)
+		}
+		sort.SliceStable(inbox, func(i, j int) bool {
+			if inbox[i].From != inbox[j].From {
+				return inbox[i].From < inbox[j].From
+			}
+			return inbox[i].Kind < inbox[j].Kind
+		})
+		for _, q := range reordered {
+			at := int(q.key % uint64(len(inbox)+1))
+			inbox = append(inbox, Message{})
+			copy(inbox[at+1:], inbox[at:])
+			inbox[at] = q.msg
+		}
+		inboxes[u] = inbox
+	}
+	return inboxes
+}
+
+// applyCrashTransitions diffs the scenario's crash schedule against the
+// previous round and fires CrashAware hooks, in node order.
+func (nw *Network) applyCrashTransitions(handlers []Handler, round int) {
+	for u := 0; u < nw.n; u++ {
+		downNow := nw.scn.crashedAt(u, round)
+		if downNow == nw.down[u] {
+			continue
+		}
+		nw.down[u] = downNow
+		ca, ok := handlers[u].(CrashAware)
+		if !ok {
+			continue
+		}
+		if downNow {
+			ca.Crashed(round)
+		} else {
+			ca.Restarted(round)
+		}
+	}
 }
 
 // Run executes rounds until stop returns true (checked after every round)

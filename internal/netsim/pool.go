@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// handlerPool is a persistent bounded worker pool for the per-round handler
+// fan-out. The seed simulator spawned one goroutine per node per round —
+// n·rounds short-lived goroutines; the pool keeps min(GOMAXPROCS, n)
+// workers alive across rounds and hands them node indices through an
+// atomic cursor. Which worker runs which node never matters: node u's
+// handler and generator are touched by exactly one goroutine per round,
+// and results land in a per-node slot, so executions are identical for
+// every pool size.
+type handlerPool struct {
+	workers int
+	jobs    chan *poolJob
+	started bool
+	closed  bool
+}
+
+type poolJob struct {
+	n    int
+	fn   func(u int)
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// newHandlerPool sizes a pool for n nodes. workers = 0 picks
+// min(GOMAXPROCS, n); explicit counts are clamped to [1, n].
+func newHandlerPool(n, workers int) *handlerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &handlerPool{workers: workers}
+}
+
+// run invokes fn(u) exactly once for each u in [0, n), concurrently across
+// the pool, and returns when all calls completed. Workers are started
+// lazily on the first round so an unused Network costs no goroutines.
+func (p *handlerPool) run(n int, fn func(u int)) {
+	if p.closed {
+		panic("netsim: Round on a closed Network")
+	}
+	if !p.started {
+		p.jobs = make(chan *poolJob)
+		for w := 0; w < p.workers; w++ {
+			go func() {
+				for j := range p.jobs {
+					for {
+						u := int(j.next.Add(1) - 1)
+						if u >= j.n {
+							break
+						}
+						j.fn(u)
+					}
+					j.wg.Done()
+				}
+			}()
+		}
+		p.started = true
+	}
+	j := &poolJob{n: n, fn: fn}
+	j.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- j
+	}
+	j.wg.Wait()
+}
+
+// close stops the workers. Idempotent; run after close panics.
+func (p *handlerPool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.started {
+		close(p.jobs)
+	}
+}

@@ -70,9 +70,37 @@ func (c *Contacts) Has(id int) bool { return c.known[id] }
 // Slice returns a copy of the contact list.
 func (c *Contacts) Slice() []int { return append([]int(nil), c.list...) }
 
+// NodeHealth tracks a node's scenario churn state: both protocol handlers
+// embed it to implement netsim.CrashAware. Contact lists survive an outage
+// (a restart keeps durable state); the counters let tests and experiments
+// observe the churn a scenario inflicted.
+type NodeHealth struct {
+	// Down reports whether the node is currently crashed.
+	Down bool
+	// Crashes counts how many outages the node has suffered.
+	Crashes int
+	// LastCrash and LastRestart are the rounds of the most recent
+	// transitions (0 = never).
+	LastCrash, LastRestart int
+}
+
+// Crashed implements netsim.CrashAware.
+func (h *NodeHealth) Crashed(round int) {
+	h.Down = true
+	h.Crashes++
+	h.LastCrash = round
+}
+
+// Restarted implements netsim.CrashAware.
+func (h *NodeHealth) Restarted(round int) {
+	h.Down = false
+	h.LastRestart = round
+}
+
 // PushNode is the per-node handler of the push (triangulation) protocol.
 type PushNode struct {
 	Contacts *Contacts
+	NodeHealth
 }
 
 // HandleRound implements netsim.Handler.
@@ -100,9 +128,13 @@ func (p *PushNode) HandleRound(round int, inbox []netsim.Message, r *rng.Rand) [
 
 // PullNode is the per-node handler of the pull (two-hop walk) protocol.
 // Requests, replies and hellos are pipelined: the node issues a new
-// PULL-REQ every round while serving whatever arrived.
+// PULL-REQ every round while serving whatever arrived. The pipeline keeps
+// no pending-handshake state, so a PULL-REQ or PULL-REPLY lost on the wire
+// costs exactly that round's walk: the next round's fresh request is the
+// retry (pinned by TestPullLossMidHandshake).
 type PullNode struct {
 	Contacts *Contacts
+	NodeHealth
 }
 
 // HandleRound implements netsim.Handler.
@@ -190,6 +222,21 @@ func NewCluster(g *graph.Undirected, proto Protocol, cfg netsim.Config) *Cluster
 
 // Contacts returns node u's live contact list.
 func (cl *Cluster) Contacts(u int) *Contacts { return cl.contacts[u] }
+
+// Health returns node u's churn state (crash/restart bookkeeping).
+func (cl *Cluster) Health(u int) *NodeHealth {
+	switch h := cl.Handlers[u].(type) {
+	case *PushNode:
+		return &h.NodeHealth
+	case *PullNode:
+		return &h.NodeHealth
+	default:
+		panic("protocol: handler without health state")
+	}
+}
+
+// Close releases the network's persistent handler pool.
+func (cl *Cluster) Close() { cl.Net.Close() }
 
 // AllDiscovered reports whether every node knows every other node.
 func (cl *Cluster) AllDiscovered() bool {
