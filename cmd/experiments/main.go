@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gossipdisc/internal/experiments"
+	"gossipdisc/internal/graph"
 	"gossipdisc/internal/sim"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		csv            = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers        = flag.String("workers", "0", "per-run round-engine workers: 0 = classic sequential engine, k >= 1 = sharded deterministic engine, -1 = GOMAXPROCS, auto = adaptive autoscaling")
 		trialsParallel = flag.Int("trials-parallel", 0, "concurrent trials per sweep point (0 = GOMAXPROCS, 1 = strictly sequential; outputs are byte-identical for every value)")
+		backendName    = flag.String("backend", "dense", "graph row-storage backend for workload generation: dense | sparse | auto (outputs are byte-identical)")
 		outDir         = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
 		list           = flag.Bool("list", false, "list experiments and exit")
 	)
@@ -68,9 +70,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -trials-parallel must be >= 0 (0 = GOMAXPROCS, 1 = sequential; got %d)\n", *trialsParallel)
 		os.Exit(1)
 	}
+	backend, err := graph.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -backend must be dense, sparse, or auto (got %q)\n", *backendName)
+		os.Exit(1)
+	}
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv,
-		Workers: engineWorkers, TrialWorkers: *trialsParallel,
+		Workers: engineWorkers, TrialWorkers: *trialsParallel, Backend: backend,
 	}
 
 	var selected []experiments.Experiment

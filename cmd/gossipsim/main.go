@@ -44,6 +44,7 @@ func main() {
 		failProb     = flag.Float64("fail", 0, "connection failure probability (0..1)")
 		dense        = flag.Float64("dense", 0, "dense-phase threshold fraction in (0,1]: sample missing edges once remaining work drops below this fraction (0 = off; -mode sync only)")
 		scenarioPath = flag.String("scenario", "", "JSON chaos-scenario file: runs the wire-level message-passing stack under the scenario's impairments (-process push|pull; see examples/chaos-lab)")
+		backendName  = flag.String("backend", "dense", "graph row-storage backend: dense | sparse | auto (results are byte-identical; sparse fits n = 100k-1M)")
 		list         = flag.Bool("list", false, "list workload families and exit")
 	)
 	flag.Parse()
@@ -62,14 +63,15 @@ func main() {
 		process: *process, family: *family, dfamily: *dfamily, mode: *mode,
 		n: *n, trials: *trials, seed: *seed, workers: *workers,
 		rounds: *roundsBudget, traceAt: *traceAt, fail: *failProb, dense: *dense,
-		scenario: *scenarioPath,
+		scenario: *scenarioPath, backend: *backendName,
 	}
 	if err := opts.validate(); err != nil {
 		fatalf("%v", err)
 	}
+	backend, _ := graph.ParseBackend(*backendName)
 
 	if *scenarioPath != "" {
-		runWire(*process, *family, *n, *trials, *seed, *roundsBudget, *scenarioPath)
+		runWire(*process, *family, *n, *trials, *seed, *roundsBudget, *scenarioPath, backend)
 		return
 	}
 
@@ -102,7 +104,7 @@ func main() {
 	}
 
 	if *process == "directed" {
-		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense)
+		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense, backend)
 		return
 	}
 
@@ -136,7 +138,7 @@ func main() {
 	stopped := 0
 	for t := 0; t < *trials; t++ {
 		r := root.Split()
-		g := fam.Generate(*n, r)
+		g := fam.Generate(*n, r, backend)
 		if async {
 			acfg := sim.AsyncConfig{}
 			if *roundsBudget > 0 {
@@ -214,7 +216,7 @@ func main() {
 // on netsim) under a chaos scenario: every trial is replayable from
 // (seed, scenario file), and the table reports the wire's own traffic and
 // impairment counters next to the discovery round count.
-func runWire(process, family string, n, trials int, seed uint64, budget int, path string) {
+func runWire(process, family string, n, trials int, seed uint64, budget int, path string, backend graph.Backend) {
 	scn, err := netsim.LoadScenario(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -249,7 +251,7 @@ func runWire(process, family string, n, trials int, seed uint64, budget int, pat
 	stopped := 0
 	for t := 0; t < trials; t++ {
 		r := root.Split()
-		g := fam.Generate(n, r)
+		g := fam.Generate(n, r, backend)
 		cl := protocol.NewCluster(g, proto, netsim.Config{Seed: r.Uint64(), Scenario: scn})
 		rds, done := cl.Run(maxRounds)
 		st := cl.Net.Stats()
@@ -274,7 +276,7 @@ func runWire(process, family string, n, trials int, seed uint64, budget int, pat
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 
-func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64) {
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64, backend graph.Backend) {
 	fam, err := gen.DirectedFamilyByName(family)
 	if err != nil {
 		fatalf("%v", err)
@@ -290,7 +292,7 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 	stopped := 0
 	for t := 0; t < trials; t++ {
 		r := root.Split()
-		var g *graph.Directed = fam.Generate(n, r)
+		var g *graph.Directed = fam.Generate(n, r, backend)
 		res := sim.RunDirected(g, core.DirectedTwoHop{}, r,
 			sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget, DensePhase: dense})
 		if !res.Converged && budget == 0 {

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"strconv"
+
+	"gossipdisc/internal/graph"
 )
 
 // options collects every flag value gossipsim accepts, so input validation
@@ -26,6 +28,7 @@ type options struct {
 	fail     float64
 	dense    float64
 	scenario string
+	backend  string
 }
 
 // workerCount resolves the -workers flag: auto == true selects the
@@ -72,6 +75,9 @@ func (o *options) validate() error {
 	}
 	if _, _, err := o.workerCount(); err != nil {
 		return err
+	}
+	if _, err := graph.ParseBackend(o.backend); err != nil {
+		return fmt.Errorf("-backend must be dense, sparse, or auto (got %q)", o.backend)
 	}
 	if o.rounds < 0 {
 		return fmt.Errorf("-rounds must be >= 0 (0 = run to convergence; got %d)", o.rounds)

@@ -10,6 +10,7 @@ func good() options {
 	return options{
 		process: "push", family: "cycle", dfamily: "strong-random", mode: "sync",
 		n: 64, trials: 1, seed: 1, workers: "0", rounds: 0, traceAt: 0, fail: 0, dense: 0,
+		backend: "dense",
 	}
 }
 
@@ -29,8 +30,12 @@ func TestValidateOptions(t *testing.T) {
 		{"dense full", func(o *options) { o.dense = 1 }, ""},
 		{"fail probability", func(o *options) { o.fail = 0.5 }, ""},
 		{"n of one", func(o *options) { o.n = 1 }, ""},
+		{"backend sparse", func(o *options) { o.backend = "sparse" }, ""},
+		{"backend auto", func(o *options) { o.backend = "auto" }, ""},
 
 		{"unknown process", func(o *options) { o.process = "teleport" }, "-process"},
+		{"unknown backend", func(o *options) { o.backend = "hologram" }, "-backend"},
+		{"empty backend", func(o *options) { o.backend = "" }, "-backend"},
 		{"unknown mode", func(o *options) { o.mode = "turbo" }, "-mode"},
 		{"directed async", func(o *options) { o.process = "directed"; o.mode = "async" }, "async"},
 		{"zero n", func(o *options) { o.n = 0 }, "-n"},

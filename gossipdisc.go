@@ -148,11 +148,38 @@ const (
 	CommitEager = sim.CommitEager
 )
 
-// NewGraph returns an empty undirected graph on n nodes.
+// Graph row-storage backends (see DESIGN.md "Graph backends"): all random
+// sampling draws from backend-independent adjacency lists, so simulation
+// results are byte-identical across backends — pick by memory footprint.
+const (
+	// BackendDense keeps an n-bit bitset row per node (O(n²) bits) — the
+	// golden reference, right up to a few thousand nodes.
+	BackendDense = graph.BackendDense
+	// BackendSparse keeps sorted adjacency rows promoting to bitsets past
+	// a density threshold (O(m) memory) — the backend for n = 100k–1M.
+	BackendSparse = graph.BackendSparse
+	// BackendAuto picks dense or sparse from n at construction time.
+	BackendAuto = graph.BackendAuto
+)
+
+// Backend selects a graph's row-storage strategy.
+type Backend = graph.Backend
+
+// NewGraph returns an empty undirected graph on n nodes on the dense
+// backend.
 func NewGraph(n int) *Graph { return graph.NewUndirected(n) }
 
-// NewDigraph returns an empty directed graph on n nodes.
+// NewGraphOn returns an empty undirected graph on n nodes on the given
+// row-storage backend.
+func NewGraphOn(n int, b Backend) *Graph { return graph.NewUndirectedOn(n, b) }
+
+// NewDigraph returns an empty directed graph on n nodes on the dense
+// backend.
 func NewDigraph(n int) *Digraph { return graph.NewDirected(n) }
+
+// NewDigraphOn returns an empty directed graph on n nodes on the given
+// row-storage backend.
+func NewDigraphOn(n int, b Backend) *Digraph { return graph.NewDirectedOn(n, b) }
 
 // NewRand returns a deterministic generator for the given seed.
 func NewRand(seed uint64) *Rand { return rng.New(seed) }

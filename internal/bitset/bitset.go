@@ -69,6 +69,15 @@ func (s *Set) OrWord(wi int, mask uint64) uint64 {
 	return mask &^ old
 }
 
+// Word returns the wi-th 64-bit word of the set (bit j of the word is bit
+// wi*64+j of the set). It is the read-only escape hatch for word-at-a-time
+// consumers — the sparse graph backend walks a target row's words against
+// its sorted adjacency entries without materializing a second bitset.
+func (s *Set) Word(wi int) uint64 { return s.words[wi] }
+
+// Words returns the number of 64-bit words backing the set.
+func (s *Set) Words() int { return len(s.words) }
+
 // Count returns the number of set bits.
 func (s *Set) Count() int {
 	c := 0

@@ -47,6 +47,11 @@ type Config struct {
 	Rate float64
 	// Pull selects the two-hop-walk process; default is push.
 	Pull bool
+	// Backend selects the graph row-storage backend for the slot pool
+	// (graph.BackendDense, the zero value, by default). Large-capacity
+	// long-lived swarms should use BackendSparse or BackendAuto; coverage
+	// series are byte-identical across backends.
+	Backend graph.Backend
 }
 
 // Session is a running churn simulation.
@@ -68,7 +73,7 @@ func NewSession(cfg Config, r *rng.Rand) *Session {
 	if cfg.SeedDegree < 1 {
 		cfg.SeedDegree = 1
 	}
-	g := graph.NewUndirected(cfg.Capacity)
+	g := graph.NewUndirectedOn(cfg.Capacity, cfg.Backend)
 	alive := make([]bool, cfg.Capacity)
 	s := &Session{
 		cfg:      cfg,

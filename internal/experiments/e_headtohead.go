@@ -46,7 +46,7 @@ func runHeadToHead(cfg Config, w io.Writer) error {
 		for pi, proc := range []core.Process{core.Push{}, core.Pull{}, core.PushPull{}} {
 			seed := pointSeed(cfg.Seed, uint64(fi), uint64(pi), 1818)
 			results := sim.Trials(trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
-				return fam.Generate(n, r)
+				return fam.Generate(n, r, cfg.Backend)
 			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {

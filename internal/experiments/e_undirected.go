@@ -90,7 +90,7 @@ func runUpperBoundSweep(cfg Config, w io.Writer, id string, proc core.Process) e
 			}
 			seed := pointSeed(cfg.Seed, uint64(fi), uint64(len(famName)), hashName(famName))
 			results := sim.TrialsOn(cfg.TrialWorkers, trials, seed, func(trial int, r *rng.Rand) *graph.Undirected {
-				return fam.Generate(n, r)
+				return fam.Generate(n, r, cfg.Backend)
 			}, proc, cfg.engine())
 			sum, err := summarizeRounds(results)
 			if err != nil {

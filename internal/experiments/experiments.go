@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 
+	"gossipdisc/internal/graph"
 	"gossipdisc/internal/sim"
 	"gossipdisc/internal/stats"
 	"gossipdisc/internal/trace"
@@ -37,6 +38,10 @@ type Config struct {
 	// concurrently (sim.TrialsOn / sim.TrialsAggregateOn): 0 = GOMAXPROCS,
 	// 1 = strictly sequential. Outputs are byte-identical for every value.
 	TrialWorkers int
+	// Backend selects the graph row-storage backend every sweep point's
+	// workload is generated on (graph.BackendDense, the zero value, by
+	// default). Outputs are byte-identical for every backend.
+	Backend graph.Backend
 }
 
 // engine returns the sim.Config every undirected sweep point shares.

@@ -8,8 +8,8 @@ import (
 )
 
 // DirectedPath returns the directed path 0 → 1 → … → n-1.
-func DirectedPath(n int) *graph.Directed {
-	g := graph.NewDirected(n)
+func DirectedPath(n int, backend ...graph.Backend) *graph.Directed {
+	g := graph.NewDirectedOn(n, pick(backend))
 	for i := 0; i+1 < n; i++ {
 		g.AddArc(i, i+1)
 	}
@@ -17,8 +17,8 @@ func DirectedPath(n int) *graph.Directed {
 }
 
 // DirectedCycle returns the directed n-cycle.
-func DirectedCycle(n int) *graph.Directed {
-	g := DirectedPath(n)
+func DirectedCycle(n int, backend ...graph.Backend) *graph.Directed {
+	g := DirectedPath(n, backend...)
 	if n >= 2 {
 		g.AddArc(n-1, 0)
 	}
@@ -26,8 +26,8 @@ func DirectedCycle(n int) *graph.Directed {
 }
 
 // CompleteDigraph returns the complete digraph (all ordered pairs).
-func CompleteDigraph(n int) *graph.Directed {
-	g := graph.NewDirected(n)
+func CompleteDigraph(n int, backend ...graph.Backend) *graph.Directed {
+	g := graph.NewDirectedOn(n, pick(backend))
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			g.AddArc(u, v)
@@ -39,8 +39,8 @@ func CompleteDigraph(n int) *graph.Directed {
 // RandomStronglyConnected returns a directed cycle on a random node
 // permutation plus `extra` additional uniform random arcs — strongly
 // connected by construction.
-func RandomStronglyConnected(n, extra int, r *rng.Rand) *graph.Directed {
-	g := graph.NewDirected(n)
+func RandomStronglyConnected(n, extra int, r *rng.Rand, backend ...graph.Backend) *graph.Directed {
+	g := graph.NewDirectedOn(n, pick(backend))
 	perm := r.Perm(n)
 	for i := 0; i < n; i++ {
 		g.AddArc(perm[i], perm[(i+1)%n])
@@ -53,8 +53,8 @@ func RandomStronglyConnected(n, extra int, r *rng.Rand) *graph.Directed {
 
 // RandomWeaklyConnected returns a random tree with randomly oriented edges
 // plus `extra` random arcs — weakly but (typically) not strongly connected.
-func RandomWeaklyConnected(n, extra int, r *rng.Rand) *graph.Directed {
-	g := graph.NewDirected(n)
+func RandomWeaklyConnected(n, extra int, r *rng.Rand, backend ...graph.Backend) *graph.Directed {
+	g := graph.NewDirectedOn(n, pick(backend))
 	perm := r.Perm(n)
 	for i := 1; i < n; i++ {
 		u, v := perm[i], perm[r.Intn(i)]
@@ -82,11 +82,11 @@ func RandomWeaklyConnected(n, extra int, r *rng.Rand) *graph.Directed {
 // which requires node 3i to take the specific two-hop walk 3i → 3i+1 → 3i+2
 // against an out-degree of about n/4 — probability Θ(1/n²) per round, and
 // all n/4 of these events are independent.
-func Thm14WeakLowerBound(n int) *graph.Directed {
+func Thm14WeakLowerBound(n int, backend ...graph.Backend) *graph.Directed {
 	if n%4 != 0 || n < 8 {
 		panic(fmt.Sprintf("gen: Thm14WeakLowerBound(%d): n must be a multiple of 4, >= 8", n))
 	}
-	g := graph.NewDirected(n)
+	g := graph.NewDirectedOn(n, pick(backend))
 	for i := 0; i < n/4; i++ {
 		for j := 3 * n / 4; j < n; j++ {
 			g.AddArc(3*i, j)
@@ -124,11 +124,11 @@ func MissingThm14Arcs(n int) []graph.Arc {
 // Here nodes are 0-indexed: low half L = {0..n/2-1} is a complete digraph;
 // arcs (i → i+1) for n/2-1 <= i <= n-2; and every node i >= n/2 has arcs to
 // all j < i.
-func Thm15StrongLowerBound(n int) *graph.Directed {
+func Thm15StrongLowerBound(n int, backend ...graph.Backend) *graph.Directed {
 	if n%2 != 0 || n < 4 {
 		panic(fmt.Sprintf("gen: Thm15StrongLowerBound(%d): n must be even, >= 4", n))
 	}
-	g := graph.NewDirected(n)
+	g := graph.NewDirectedOn(n, pick(backend))
 	half := n / 2
 	for i := 0; i < half; i++ {
 		for j := 0; j < half; j++ {
@@ -148,8 +148,8 @@ func Thm15StrongLowerBound(n int) *graph.Directed {
 
 // LayeredDAG returns a DAG with `layers` layers of `width` nodes where every
 // node has arcs to all nodes of the next layer.
-func LayeredDAG(layers, width int) *graph.Directed {
-	g := graph.NewDirected(layers * width)
+func LayeredDAG(layers, width int, backend ...graph.Backend) *graph.Directed {
+	g := graph.NewDirectedOn(layers*width, pick(backend))
 	for l := 0; l+1 < layers; l++ {
 		for a := 0; a < width; a++ {
 			for b := 0; b < width; b++ {

@@ -11,11 +11,11 @@ import (
 
 // Wheel returns the wheel graph: an (n-1)-cycle plus a hub (node 0)
 // adjacent to every rim node. Requires n >= 4.
-func Wheel(n int) *graph.Undirected {
+func Wheel(n int, backend ...graph.Backend) *graph.Undirected {
 	if n < 4 {
 		panic(fmt.Sprintf("gen: Wheel(%d) needs n >= 4", n))
 	}
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 1; i < n; i++ {
 		g.AddEdge(0, i)
 		next := i + 1
@@ -29,8 +29,8 @@ func Wheel(n int) *graph.Undirected {
 
 // Caterpillar returns a spine path of ceil(n/2) nodes with the remaining
 // nodes attached as legs round-robin along the spine.
-func Caterpillar(n int) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func Caterpillar(n int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	spine := (n + 1) / 2
 	for i := 0; i+1 < spine; i++ {
 		g.AddEdge(i, i+1)
@@ -43,11 +43,11 @@ func Caterpillar(n int) *graph.Undirected {
 
 // KaryTree returns the complete k-ary tree on n nodes (node i's children
 // are k·i+1 … k·i+k).
-func KaryTree(n, k int) *graph.Undirected {
+func KaryTree(n, k int, backend ...graph.Backend) *graph.Undirected {
 	if k < 1 {
 		panic(fmt.Sprintf("gen: KaryTree arity %d", k))
 	}
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 1; i < n; i++ {
 		g.AddEdge(i, (i-1)/k)
 	}
@@ -57,11 +57,11 @@ func KaryTree(n, k int) *graph.Undirected {
 // Circulant returns the circulant graph C_n(1, …, jumps): node i is
 // adjacent to i±1, …, i±jumps (mod n). A simple constant-degree expander
 // stand-in for the ablation sweeps.
-func Circulant(n, jumps int) *graph.Undirected {
+func Circulant(n, jumps int, backend ...graph.Backend) *graph.Undirected {
 	if jumps < 1 {
 		panic(fmt.Sprintf("gen: Circulant jumps %d", jumps))
 	}
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i < n; i++ {
 		for j := 1; j <= jumps; j++ {
 			g.AddEdge(i, (i+j)%n)
@@ -72,8 +72,8 @@ func Circulant(n, jumps int) *graph.Undirected {
 
 // Broom returns a star of n/2 leaves whose center extends into a path of
 // the remaining nodes — high-degree and deep-path features in one graph.
-func Broom(n int) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func Broom(n int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	half := n / 2
 	for i := 1; i <= half; i++ {
 		g.AddEdge(0, i)

@@ -6,6 +6,12 @@
 //
 // All generators are deterministic given a *rng.Rand; generators of fixed
 // graphs take no generator argument.
+//
+// Every parameterized generator takes an optional trailing graph.Backend
+// selecting the row-storage backend of the produced graph (default
+// BackendDense). The generated edge set and adjacency insertion order are
+// identical for every backend, so downstream simulations draw the same
+// samples whichever backend is chosen.
 package gen
 
 import (
@@ -15,9 +21,17 @@ import (
 	"gossipdisc/internal/rng"
 )
 
+// pick resolves the optional trailing backend argument of a generator.
+func pick(backend []graph.Backend) graph.Backend {
+	if len(backend) > 0 {
+		return backend[0]
+	}
+	return graph.BackendDense
+}
+
 // Path returns the path 0–1–…–(n-1).
-func Path(n int) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func Path(n int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i+1 < n; i++ {
 		g.AddEdge(i, i+1)
 	}
@@ -25,8 +39,8 @@ func Path(n int) *graph.Undirected {
 }
 
 // Cycle returns the n-cycle (n >= 3); for n < 3 it returns Path(n).
-func Cycle(n int) *graph.Undirected {
-	g := Path(n)
+func Cycle(n int, backend ...graph.Backend) *graph.Undirected {
+	g := Path(n, backend...)
 	if n >= 3 {
 		g.AddEdge(n-1, 0)
 	}
@@ -34,8 +48,8 @@ func Cycle(n int) *graph.Undirected {
 }
 
 // Star returns the star with center 0 and n-1 leaves.
-func Star(n int) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func Star(n int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 1; i < n; i++ {
 		g.AddEdge(0, i)
 	}
@@ -43,8 +57,8 @@ func Star(n int) *graph.Undirected {
 }
 
 // Complete returns the complete graph K_n.
-func Complete(n int) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func Complete(n int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			g.AddEdge(i, j)
@@ -54,8 +68,8 @@ func Complete(n int) *graph.Undirected {
 }
 
 // CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
-func CompleteBipartite(a, b int) *graph.Undirected {
-	g := graph.NewUndirected(a + b)
+func CompleteBipartite(a, b int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(a+b, pick(backend))
 	for i := 0; i < a; i++ {
 		for j := 0; j < b; j++ {
 			g.AddEdge(i, a+j)
@@ -66,8 +80,8 @@ func CompleteBipartite(a, b int) *graph.Undirected {
 
 // BinaryTree returns the complete-ish binary tree on n nodes where node i's
 // children are 2i+1 and 2i+2.
-func BinaryTree(n int) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func BinaryTree(n int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 1; i < n; i++ {
 		g.AddEdge(i, (i-1)/2)
 	}
@@ -78,8 +92,8 @@ func BinaryTree(n int) *graph.Undirected {
 // attachment sequence (each new node attaches to a uniform existing node
 // under a random node ordering — a random recursive tree on a random
 // permutation; not Prüfer-uniform but an excellent sparse workload).
-func RandomTree(n int, r *rng.Rand) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func RandomTree(n int, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	perm := r.Perm(n)
 	for i := 1; i < n; i++ {
 		g.AddEdge(perm[i], perm[r.Intn(i)])
@@ -88,8 +102,8 @@ func RandomTree(n int, r *rng.Rand) *graph.Undirected {
 }
 
 // Grid returns the rows×cols grid graph.
-func Grid(rows, cols int) *graph.Undirected {
-	g := graph.NewUndirected(rows * cols)
+func Grid(rows, cols int, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(rows*cols, pick(backend))
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -105,9 +119,9 @@ func Grid(rows, cols int) *graph.Undirected {
 }
 
 // Hypercube returns the d-dimensional hypercube on 2^d nodes.
-func Hypercube(d int) *graph.Undirected {
+func Hypercube(d int, backend ...graph.Backend) *graph.Undirected {
 	n := 1 << d
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for u := 0; u < n; u++ {
 		for b := 0; b < d; b++ {
 			v := u ^ (1 << b)
@@ -122,9 +136,9 @@ func Hypercube(d int) *graph.Undirected {
 // Lollipop returns a clique on ceil(n/2) nodes with a path of the remaining
 // nodes attached to clique node 0 — the classic worst case for random-walk
 // style processes.
-func Lollipop(n int) *graph.Undirected {
+func Lollipop(n int, backend ...graph.Backend) *graph.Undirected {
 	k := (n + 1) / 2
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			g.AddEdge(i, j)
@@ -140,9 +154,9 @@ func Lollipop(n int) *graph.Undirected {
 
 // Barbell returns two cliques of size n/2 joined by a single bridge edge
 // (n >= 2). For odd n the second clique gets the extra node.
-func Barbell(n int) *graph.Undirected {
+func Barbell(n int, backend ...graph.Backend) *graph.Undirected {
 	k := n / 2
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			g.AddEdge(i, j)
@@ -163,8 +177,8 @@ func Barbell(n int) *graph.Undirected {
 // connected: the sample is patched by linking each non-root component to a
 // uniform node of the giant via a single extra edge. For p above the
 // connectivity threshold the patch is almost always empty.
-func ConnectedER(n int, p float64, r *rng.Rand) *graph.Undirected {
-	g := graph.NewUndirected(n)
+func ConnectedER(n int, p float64, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if r.Bernoulli(p) {
@@ -183,7 +197,7 @@ func ConnectedER(n int, p float64, r *rng.Rand) *graph.Undirected {
 
 // RandomRegular returns a random d-regular simple graph on n nodes via the
 // pairing (configuration) model with restarts. n*d must be even and d < n.
-func RandomRegular(n, d int, r *rng.Rand) *graph.Undirected {
+func RandomRegular(n, d int, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
 	if n*d%2 != 0 {
 		panic(fmt.Sprintf("gen: RandomRegular(%d, %d): n*d must be even", n, d))
 	}
@@ -191,17 +205,17 @@ func RandomRegular(n, d int, r *rng.Rand) *graph.Undirected {
 		panic(fmt.Sprintf("gen: RandomRegular(%d, %d): need d < n", n, d))
 	}
 	if d == 0 {
-		return graph.NewUndirected(n)
+		return graph.NewUndirectedOn(n, pick(backend))
 	}
 	// The rejection rate of the pairing model explodes as d approaches n;
 	// dense regular graphs are generated as complements of sparse ones
 	// (the complement of a simple d'-regular graph is (n-1-d')-regular, and
 	// n(n-1-d) keeps the required parity because n(n-1) is even).
 	if d > (n-1)/2 {
-		return complement(RandomRegular(n, n-1-d, r))
+		return complement(RandomRegular(n, n-1-d, r, backend...), backend...)
 	}
 	for attempt := 0; ; attempt++ {
-		if g, ok := tryPairing(n, d, r); ok {
+		if g, ok := tryPairing(n, d, r, backend...); ok {
 			return g
 		}
 		if attempt > 10000 {
@@ -212,9 +226,9 @@ func RandomRegular(n, d int, r *rng.Rand) *graph.Undirected {
 
 // complement returns the graph on the same nodes whose edges are exactly
 // the non-edges of g.
-func complement(g *graph.Undirected) *graph.Undirected {
+func complement(g *graph.Undirected, backend ...graph.Backend) *graph.Undirected {
 	n := g.N()
-	c := graph.NewUndirected(n)
+	c := graph.NewUndirectedOn(n, pick(backend))
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if !g.HasEdge(u, v) {
@@ -225,7 +239,7 @@ func complement(g *graph.Undirected) *graph.Undirected {
 	return c
 }
 
-func tryPairing(n, d int, r *rng.Rand) (*graph.Undirected, bool) {
+func tryPairing(n, d int, r *rng.Rand, backend ...graph.Backend) (*graph.Undirected, bool) {
 	stubs := make([]int, 0, n*d)
 	for u := 0; u < n; u++ {
 		for k := 0; k < d; k++ {
@@ -233,7 +247,7 @@ func tryPairing(n, d int, r *rng.Rand) (*graph.Undirected, bool) {
 		}
 	}
 	r.Shuffle(stubs)
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for i := 0; i < len(stubs); i += 2 {
 		u, v := stubs[i], stubs[i+1]
 		if u == v || g.HasEdge(u, v) {
@@ -247,11 +261,11 @@ func tryPairing(n, d int, r *rng.Rand) (*graph.Undirected, bool) {
 // PreferentialAttachment returns a Barabási–Albert style graph: starting
 // from a clique on m+1 nodes, each new node attaches to m distinct existing
 // nodes chosen with probability proportional to degree.
-func PreferentialAttachment(n, m int, r *rng.Rand) *graph.Undirected {
+func PreferentialAttachment(n, m int, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
 	if m < 1 || n < m+1 {
 		panic(fmt.Sprintf("gen: PreferentialAttachment(%d, %d) invalid", n, m))
 	}
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	// Degree-proportional sampling via the repeated-endpoints trick.
 	var endpoints []int
 	for i := 0; i <= m; i++ {
@@ -275,17 +289,17 @@ func PreferentialAttachment(n, m int, r *rng.Rand) *graph.Undirected {
 
 // TwoClustersBridge returns two ConnectedER(n/2, p) clusters joined by one
 // bridge edge — the social-network motivation workload (two communities).
-func TwoClustersBridge(n int, p float64, r *rng.Rand) *graph.Undirected {
+func TwoClustersBridge(n int, p float64, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
 	a := n / 2
 	b := n - a
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	copyIn := func(h *graph.Undirected, off int) {
 		for _, e := range h.Edges() {
 			g.AddEdge(e.U+off, e.V+off)
 		}
 	}
-	copyIn(ConnectedER(a, p, r), 0)
-	copyIn(ConnectedER(b, p, r), a)
+	copyIn(ConnectedER(a, p, r, backend...), 0)
+	copyIn(ConnectedER(b, p, r, backend...), a)
 	if a >= 1 && b >= 1 {
 		g.AddEdge(0, a)
 	}
@@ -295,20 +309,20 @@ func TwoClustersBridge(n int, p float64, r *rng.Rand) *graph.Undirected {
 // NearComplete returns K_n with k distinct edges removed, chosen uniformly
 // at random, conditioned on the result staying connected (k must satisfy
 // k <= n(n-1)/2 - (n-1) so a connected graph exists).
-func NearComplete(n, k int, r *rng.Rand) *graph.Undirected {
+func NearComplete(n, k int, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
 	maxRemovable := n*(n-1)/2 - (n - 1)
 	if k < 0 || k > maxRemovable {
 		panic(fmt.Sprintf("gen: NearComplete(%d, %d): k out of range [0, %d]", n, k, maxRemovable))
 	}
 	for {
-		g := buildWithoutEdges(n, k, r)
+		g := buildWithoutEdges(n, k, r, backend...)
 		if g.IsConnected() {
 			return g
 		}
 	}
 }
 
-func buildWithoutEdges(n, k int, r *rng.Rand) *graph.Undirected {
+func buildWithoutEdges(n, k int, r *rng.Rand, backend ...graph.Backend) *graph.Undirected {
 	// Choose k distinct pairs to omit.
 	type pair struct{ u, v int }
 	omit := map[pair]bool{}
@@ -323,7 +337,7 @@ func buildWithoutEdges(n, k int, r *rng.Rand) *graph.Undirected {
 		}
 		omit[pair{u, v}] = true
 	}
-	g := graph.NewUndirected(n)
+	g := graph.NewUndirectedOn(n, pick(backend))
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if !omit[pair{u, v}] {

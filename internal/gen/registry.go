@@ -12,56 +12,58 @@ import (
 // by the experiment sweeps. Generate must return a connected graph on
 // (about) n nodes; families are free to round n to a feasible value (e.g.
 // hypercubes round to powers of two) — callers read the actual size off the
-// returned graph.
+// returned graph. The optional trailing backend selects the graph's
+// row-storage backend (default dense); the generated graph is identical
+// for every backend.
 type Family struct {
 	Name     string
 	MinN     int
-	Generate func(n int, r *rng.Rand) *graph.Undirected
+	Generate func(n int, r *rng.Rand, backend ...graph.Backend) *graph.Undirected
 }
 
 // DirectedFamily is the directed analogue of Family.
 type DirectedFamily struct {
 	Name     string
 	MinN     int
-	Generate func(n int, r *rng.Rand) *graph.Directed
+	Generate func(n int, r *rng.Rand, backend ...graph.Backend) *graph.Directed
 }
 
 // UndirectedFamilies returns the registry of undirected workload families in
 // a stable order. These are the sweep axes of experiments E1/E3/E9/E10.
 func UndirectedFamilies() []Family {
 	return []Family{
-		{Name: "path", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Path(n) }},
-		{Name: "cycle", MinN: 3, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Cycle(n) }},
-		{Name: "star", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Star(n) }},
-		{Name: "bintree", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return BinaryTree(n) }},
+		{Name: "path", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Path(n, b...) }},
+		{Name: "cycle", MinN: 3, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Cycle(n, b...) }},
+		{Name: "star", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Star(n, b...) }},
+		{Name: "bintree", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return BinaryTree(n, b...) }},
 		{Name: "randtree", MinN: 2, Generate: RandomTree},
-		{Name: "lollipop", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Lollipop(n) }},
-		{Name: "barbell", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Barbell(n) }},
-		{Name: "grid", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+		{Name: "lollipop", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Lollipop(n, b...) }},
+		{Name: "barbell", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Barbell(n, b...) }},
+		{Name: "grid", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected {
 			side := intSqrt(n)
-			return Grid(side, side)
+			return Grid(side, side, b...)
 		}},
-		{Name: "hypercube", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected {
+		{Name: "hypercube", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected {
 			d := 1
 			for 1<<(d+1) <= n {
 				d++
 			}
-			return Hypercube(d)
+			return Hypercube(d, b...)
 		}},
-		{Name: "er-sparse", MinN: 8, Generate: func(n int, r *rng.Rand) *graph.Undirected {
-			return ConnectedER(n, 2.0/float64(n), r)
+		{Name: "er-sparse", MinN: 8, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected {
+			return ConnectedER(n, 2.0/float64(n), r, b...)
 		}},
-		{Name: "prefattach", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected {
-			return PreferentialAttachment(n, 2, r)
+		{Name: "prefattach", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected {
+			return PreferentialAttachment(n, 2, r, b...)
 		}},
-		{Name: "2clusters", MinN: 8, Generate: func(n int, r *rng.Rand) *graph.Undirected {
-			return TwoClustersBridge(n, 4.0/float64(n), r)
+		{Name: "2clusters", MinN: 8, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected {
+			return TwoClustersBridge(n, 4.0/float64(n), r, b...)
 		}},
-		{Name: "wheel", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Wheel(n) }},
-		{Name: "caterpillar", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Caterpillar(n) }},
-		{Name: "3arytree", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Undirected { return KaryTree(n, 3) }},
-		{Name: "circulant3", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Circulant(n, 3) }},
-		{Name: "broom", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Undirected { return Broom(n) }},
+		{Name: "wheel", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Wheel(n, b...) }},
+		{Name: "caterpillar", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Caterpillar(n, b...) }},
+		{Name: "3arytree", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return KaryTree(n, 3, b...) }},
+		{Name: "circulant3", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Circulant(n, 3, b...) }},
+		{Name: "broom", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Undirected { return Broom(n, b...) }},
 	}
 }
 
@@ -89,18 +91,18 @@ func FamilyNames() []string {
 // DirectedFamilies returns the registry of directed workload families.
 func DirectedFamilies() []DirectedFamily {
 	return []DirectedFamily{
-		{Name: "dcycle", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Directed { return DirectedCycle(n) }},
-		{Name: "strong-random", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Directed {
-			return RandomStronglyConnected(n, n/2, r)
+		{Name: "dcycle", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Directed { return DirectedCycle(n, b...) }},
+		{Name: "strong-random", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Directed {
+			return RandomStronglyConnected(n, n/2, r, b...)
 		}},
-		{Name: "weak-random", MinN: 2, Generate: func(n int, r *rng.Rand) *graph.Directed {
-			return RandomWeaklyConnected(n, n/4, r)
+		{Name: "weak-random", MinN: 2, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Directed {
+			return RandomWeaklyConnected(n, n/4, r, b...)
 		}},
-		{Name: "thm14", MinN: 8, Generate: func(n int, r *rng.Rand) *graph.Directed {
-			return Thm14WeakLowerBound(n - n%4)
+		{Name: "thm14", MinN: 8, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Directed {
+			return Thm14WeakLowerBound(n-n%4, b...)
 		}},
-		{Name: "thm15", MinN: 4, Generate: func(n int, r *rng.Rand) *graph.Directed {
-			return Thm15StrongLowerBound(n - n%2)
+		{Name: "thm15", MinN: 4, Generate: func(n int, r *rng.Rand, b ...graph.Backend) *graph.Directed {
+			return Thm15StrongLowerBound(n-n%2, b...)
 		}},
 	}
 }

@@ -1,0 +1,378 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"gossipdisc/internal/bitset"
+	"gossipdisc/internal/rng"
+)
+
+// This file is the cross-backend equivalence suite: randomized op sequences
+// applied to the dense (golden) and sparse backends in lockstep, asserting
+// identical observable state after every step. The universes are chosen so
+// rows cross the sparse promotion threshold — and, with removals, the
+// demotion threshold — mid-sequence, pinning the complement-view flip. CI
+// runs the whole file under -race.
+
+// storePair drives a dense and a sparse rowStore in lockstep.
+type storePair struct {
+	t      *testing.T
+	n      int
+	dense  rowStore
+	sparse rowStore
+}
+
+func newStorePair(t *testing.T, n int) *storePair {
+	return &storePair{t: t, n: n, dense: newDenseRows(n), sparse: newSparseRows(n)}
+}
+
+func (p *storePair) insert(u, v int) {
+	d := p.dense.insert(u, v)
+	s := p.sparse.insert(u, v)
+	if d != s {
+		p.t.Fatalf("n=%d insert(%d,%d): dense %v sparse %v", p.n, u, v, d, s)
+	}
+}
+
+func (p *storePair) remove(u, v int) {
+	d := p.dense.remove(u, v)
+	s := p.sparse.remove(u, v)
+	if d != s {
+		p.t.Fatalf("n=%d remove(%d,%d): dense %v sparse %v", p.n, u, v, d, s)
+	}
+}
+
+// checkRow compares every observable of row u across the two stores.
+func (p *storePair) checkRow(u int, r *rng.Rand, target *bitset.Set) {
+	t := p.t
+	t.Helper()
+	n := p.n
+	if d, s := p.dense.count(u), p.sparse.count(u); d != s {
+		t.Fatalf("n=%d count(%d): dense %d sparse %d", n, u, d, s)
+	}
+	var ds, ss []int
+	p.dense.forEach(u, func(v int) { ds = append(ds, v) })
+	p.sparse.forEach(u, func(v int) { ss = append(ss, v) })
+	if fmt.Sprint(ds) != fmt.Sprint(ss) {
+		t.Fatalf("n=%d forEach(%d): dense %v sparse %v", n, u, ds, ss)
+	}
+	v := r.Intn(n)
+	if d, s := p.dense.test(u, v), p.sparse.test(u, v); d != s {
+		t.Fatalf("n=%d test(%d,%d): dense %v sparse %v", n, u, v, d, s)
+	}
+	if d, s := p.dense.rank(u, v), p.sparse.rank(u, v); d != s {
+		t.Fatalf("n=%d rank(%d,%d): dense %d sparse %d", n, u, v, d, s)
+	}
+	// Exhaustive selectClear, including one-past-the-end.
+	clear := n - p.dense.count(u)
+	for _, k := range []int{0, clear / 2, clear - 1, clear} {
+		if d, s := p.dense.selectClear(u, k), p.sparse.selectClear(u, k); d != s {
+			t.Fatalf("n=%d selectClear(%d,%d): dense %d sparse %d", n, u, k, d, s)
+		}
+	}
+	var dc, sc []int
+	p.dense.forEachClear(u, func(v int) { dc = append(dc, v) })
+	p.sparse.forEachClear(u, func(v int) { sc = append(sc, v) })
+	if fmt.Sprint(dc) != fmt.Sprint(sc) {
+		t.Fatalf("n=%d forEachClear(%d): dense %v sparse %v", n, u, dc, sc)
+	}
+	if target != nil {
+		d, s := p.dense.diffCount(u, target), p.sparse.diffCount(u, target)
+		if d != s {
+			t.Fatalf("n=%d diffCount(%d): dense %d sparse %d", n, u, d, s)
+		}
+		for _, k := range []int{0, d / 2, d - 1, d} {
+			if k < 0 {
+				continue
+			}
+			dd, sd := p.dense.selectDiff(u, target, k), p.sparse.selectDiff(u, target, k)
+			if dd != sd {
+				t.Fatalf("n=%d selectDiff(%d,%d): dense %d sparse %d", n, u, k, dd, sd)
+			}
+		}
+	}
+	if !p.dense.row(u).Equal(p.sparse.row(u)) {
+		t.Fatalf("n=%d row(%d): materialized rows differ", n, u)
+	}
+}
+
+// TestRowStoreEquivalence is the lockstep property test at the storage
+// layer: random insert/remove sequences — biased so rows cross the sparse
+// promotion threshold up and the demotion threshold back down — with every
+// membership, ordering, rank/select, complement, and diff observable
+// compared against the dense golden after each batch.
+func TestRowStoreEquivalence(t *testing.T) {
+	for _, n := range []int{1, 7, 40, 64, 130, 520, 1100} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			r := rng.New(uint64(9000 + n))
+			p := newStorePair(t, n)
+			// A random diff target for the closure-style queries.
+			target := bitset.New(n)
+			for i := 0; i < n/2; i++ {
+				target.Set(r.Intn(n))
+			}
+			rows := 4
+			if rows > n {
+				rows = n
+			}
+			for step := 0; step < 300; step++ {
+				u := r.Intn(rows)
+				switch r.Intn(10) {
+				case 0, 1: // removals drive demotion
+					p.remove(u, r.Intn(n))
+				default:
+					p.insert(u, r.Intn(n))
+				}
+				if step%10 == 0 {
+					p.checkRow(u, r, target)
+				}
+			}
+			for u := 0; u < rows; u++ {
+				p.checkRow(u, r, target)
+			}
+			// Clones must be independent deep copies.
+			dc, sc := p.dense.clone(), p.sparse.clone()
+			p.insert(0, r.Intn(n))
+			if dc.count(0) != sc.count(0) {
+				t.Fatalf("clone counts diverged: dense %d sparse %d", dc.count(0), sc.count(0))
+			}
+		})
+	}
+}
+
+// TestRowStorePromotionBoundary walks a single row across the promotion
+// threshold one insert at a time, checking the complement view at every
+// size, then removes entries one at a time back through the demotion
+// threshold.
+func TestRowStorePromotionBoundary(t *testing.T) {
+	const n = 640 // promoteAt = max(16, 640/32) = 20
+	p := newStorePair(t, n)
+	sp := p.sparse.(*sparseRows)
+	if sp.promoteAt != 20 {
+		t.Fatalf("promoteAt = %d, want 20", sp.promoteAt)
+	}
+	r := rng.New(77)
+	var inserted []int
+	for len(inserted) < 2*sp.promoteAt {
+		v := r.Intn(n)
+		if p.dense.test(0, v) {
+			continue
+		}
+		p.insert(0, v)
+		inserted = append(inserted, v)
+		promoted := sp.rows[0].bits != nil
+		if want := sp.rows[0].cnt >= sp.promoteAt; promoted != want {
+			t.Fatalf("at %d entries: promoted=%v want %v", len(inserted), promoted, want)
+		}
+		p.checkRow(0, r, nil)
+	}
+	for i, v := range inserted {
+		p.remove(0, v)
+		left := len(inserted) - i - 1
+		promoted := sp.rows[0].bits != nil
+		if promoted && left < sp.promoteAt/2 {
+			t.Fatalf("at %d entries: still promoted below demotion threshold %d", left, sp.promoteAt/2)
+		}
+		p.checkRow(0, r, nil)
+	}
+	if sp.rows[0].cnt != 0 {
+		t.Fatalf("row not empty after removing everything: cnt=%d", sp.rows[0].cnt)
+	}
+}
+
+// TestBackendEquivalenceUndirected drives dense, sparse, and auto graphs in
+// lockstep through randomized AddEdge / AddEdgesGrouped batches, asserting
+// identical accepted deltas, identical missing-view answers, identical edge
+// lists, and cross-backend Equal/Clone/invariants throughout — including
+// past the density where sparse rows promote (n=130 rows promote at 16).
+func TestBackendEquivalenceUndirected(t *testing.T) {
+	for _, n := range []int{9, 40, 130} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			gd := NewUndirectedOn(n, BackendDense)
+			gs := NewUndirectedOn(n, BackendSparse)
+			if gd.Backend() != BackendDense || gs.Backend() != BackendSparse {
+				t.Fatalf("backends: %v, %v", gd.Backend(), gs.Backend())
+			}
+			r := rng.New(uint64(31 + n))
+			qr := rng.New(uint64(97 + n))
+			check := func() {
+				t.Helper()
+				if gd.M() != gs.M() {
+					t.Fatalf("edge counts: dense %d sparse %d", gd.M(), gs.M())
+				}
+				u, v := qr.Intn(n), qr.Intn(n)
+				if gd.HasEdge(u, v) != gs.HasEdge(u, v) {
+					t.Fatalf("HasEdge(%d,%d) differs", u, v)
+				}
+				if gd.MissingDegree(u) != gs.MissingDegree(u) {
+					t.Fatalf("MissingDegree(%d): dense %d sparse %d", u, gd.MissingDegree(u), gs.MissingDegree(u))
+				}
+				if md := gd.MissingDegree(u); md > 0 {
+					k := qr.Intn(md)
+					if a, b := gd.MissingNeighbor(u, k), gs.MissingNeighbor(u, k); a != b {
+						t.Fatalf("MissingNeighbor(%d,%d): dense %d sparse %d", u, k, a, b)
+					}
+				}
+				var miss1, miss2 []int
+				gd.ForEachMissing(u, func(v int) { miss1 = append(miss1, v) })
+				gs.ForEachMissing(u, func(v int) { miss2 = append(miss2, v) })
+				if fmt.Sprint(miss1) != fmt.Sprint(miss2) {
+					t.Fatalf("ForEachMissing(%d): dense %v sparse %v", u, miss1, miss2)
+				}
+				if !gd.Equal(gs) || !gs.Equal(gd) {
+					t.Fatal("cross-backend Equal is false")
+				}
+				gd.CheckInvariants()
+				gs.CheckInvariants()
+			}
+			for step := 0; step < 60; step++ {
+				if step%3 == 0 {
+					u, v := r.Intn(n), r.Intn(n)
+					if gd.AddEdge(u, v) != gs.AddEdge(u, v) {
+						t.Fatalf("AddEdge(%d,%d) differs", u, v)
+					}
+				} else {
+					batch := make([]Edge, 0, 8)
+					for i := 0; i < 8; i++ {
+						batch = append(batch, Edge{r.Intn(n), r.Intn(n)})
+					}
+					ad := gd.AddEdgesGrouped(batch, nil)
+					as := gs.AddEdgesGrouped(batch, nil)
+					if fmt.Sprint(ad) != fmt.Sprint(as) {
+						t.Fatalf("accepted deltas differ: dense %v sparse %v", ad, as)
+					}
+				}
+				check()
+			}
+			if fmt.Sprint(gd.Edges()) != fmt.Sprint(gs.Edges()) {
+				t.Fatal("Edges() listings differ")
+			}
+			// Conversion round-trips preserve adjacency order exactly.
+			conv := gd.OnBackend(BackendSparse)
+			for u := 0; u < n; u++ {
+				if fmt.Sprint(gd.Neighbors(u, nil)) != fmt.Sprint(conv.Neighbors(u, nil)) {
+					t.Fatalf("OnBackend changed adjacency order at %d", u)
+				}
+			}
+			conv.CheckInvariants()
+			cl := gs.Clone()
+			if cl.Backend() != BackendSparse || !cl.Equal(gd) {
+				t.Fatal("sparse Clone broken")
+			}
+		})
+	}
+}
+
+// TestBackendEquivalenceDirected is the directed lockstep: AddArc /
+// AddArcsGrouped batches, missing-out views, and the dense-phase diff
+// queries (RowDiffCount / RowSelectDiff) against a closure-style target.
+func TestBackendEquivalenceDirected(t *testing.T) {
+	for _, n := range []int{9, 40, 130} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			gd := NewDirectedOn(n, BackendDense)
+			gs := NewDirectedOn(n, BackendSparse)
+			r := rng.New(uint64(131 + n))
+			qr := rng.New(uint64(177 + n))
+			target := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if qr.Bool() {
+					target.Set(i)
+				}
+			}
+			check := func() {
+				t.Helper()
+				if gd.M() != gs.M() {
+					t.Fatalf("arc counts: dense %d sparse %d", gd.M(), gs.M())
+				}
+				u := qr.Intn(n)
+				if gd.MissingOutDegree(u) != gs.MissingOutDegree(u) {
+					t.Fatalf("MissingOutDegree(%d) differs", u)
+				}
+				if md := gd.MissingOutDegree(u); md > 0 {
+					k := qr.Intn(md)
+					if a, b := gd.MissingOutNeighbor(u, k), gs.MissingOutNeighbor(u, k); a != b {
+						t.Fatalf("MissingOutNeighbor(%d,%d): dense %d sparse %d", u, k, a, b)
+					}
+				}
+				dc, sc := gd.RowDiffCount(u, target), gs.RowDiffCount(u, target)
+				if dc != sc {
+					t.Fatalf("RowDiffCount(%d): dense %d sparse %d", u, dc, sc)
+				}
+				for _, k := range []int{0, dc - 1, dc} {
+					if k < 0 {
+						continue
+					}
+					if a, b := gd.RowSelectDiff(u, target, k), gs.RowSelectDiff(u, target, k); a != b {
+						t.Fatalf("RowSelectDiff(%d,%d): dense %d sparse %d", u, k, a, b)
+					}
+				}
+				if !gd.Equal(gs) {
+					t.Fatal("cross-backend Equal is false")
+				}
+				gd.CheckInvariants()
+				gs.CheckInvariants()
+			}
+			for step := 0; step < 60; step++ {
+				if step%3 == 0 {
+					u, v := r.Intn(n), r.Intn(n)
+					if gd.AddArc(u, v) != gs.AddArc(u, v) {
+						t.Fatalf("AddArc(%d,%d) differs", u, v)
+					}
+				} else {
+					batch := make([]Arc, 0, 8)
+					for i := 0; i < 8; i++ {
+						batch = append(batch, Arc{r.Intn(n), r.Intn(n)})
+					}
+					ad := gd.AddArcsGrouped(batch, nil)
+					as := gs.AddArcsGrouped(batch, nil)
+					if fmt.Sprint(ad) != fmt.Sprint(as) {
+						t.Fatalf("accepted deltas differ: dense %v sparse %v", ad, as)
+					}
+				}
+				check()
+			}
+			if fmt.Sprint(gd.Arcs()) != fmt.Sprint(gs.Arcs()) {
+				t.Fatal("Arcs() listings differ")
+			}
+			if gd.IsClosed() != gs.IsClosed() {
+				t.Fatal("IsClosed differs")
+			}
+			if !gd.Underlying().Equal(gs.Underlying()) {
+				t.Fatal("Underlying graphs differ")
+			}
+			conv := gs.OnBackend(BackendDense)
+			for u := 0; u < n; u++ {
+				if fmt.Sprint(gs.OutNeighbors(u, nil)) != fmt.Sprint(conv.OutNeighbors(u, nil)) {
+					t.Fatalf("OnBackend changed out-list order at %d", u)
+				}
+			}
+			conv.CheckInvariants()
+		})
+	}
+}
+
+// TestBackendAutoResolution pins the auto cutoff contract.
+func TestBackendAutoResolution(t *testing.T) {
+	if g := NewUndirectedOn(64, BackendAuto); g.Backend() != BackendDense {
+		t.Fatalf("auto at n=64 resolved to %v", g.Backend())
+	}
+	if g := NewUndirectedOn(AutoDenseLimit+1, BackendAuto); g.Backend() != BackendSparse {
+		t.Fatalf("auto at n=%d resolved to %v", AutoDenseLimit+1, g.Backend())
+	}
+	if g := NewDirectedOn(AutoDenseLimit+1, BackendAuto); g.Backend() != BackendSparse {
+		t.Fatalf("directed auto at n=%d resolved to %v", AutoDenseLimit+1, g.Backend())
+	}
+	for _, s := range []string{"dense", "sparse", "auto"} {
+		b, err := ParseBackend(s)
+		if err != nil || b.String() != s {
+			t.Fatalf("ParseBackend(%q) = %v, %v", s, b, err)
+		}
+	}
+	if _, err := ParseBackend("nope"); err == nil {
+		t.Fatal("ParseBackend accepted junk")
+	}
+}

@@ -15,28 +15,55 @@ type Arc struct {
 // Directed is a simple directed graph on nodes 0..n-1 supporting arc
 // insertion. As with Undirected, the discovery processes only add arcs.
 type Directed struct {
-	n   int
-	out [][]int32     // out-adjacency lists
-	mat []*bitset.Set // row u = out-neighbor set of u
-	in  []int         // in-degrees (maintained for metrics)
-	m   int           // number of arcs
+	n    int
+	out  [][]int32 // out-adjacency lists
+	rows rowStore  // row u = out-neighbor set of u
+	in   []int     // in-degrees (maintained for metrics)
+	m    int       // number of arcs
 }
 
-// NewDirected returns an empty directed graph on n nodes.
+// NewDirected returns an empty directed graph on n nodes, on the dense
+// golden-reference backend.
 func NewDirected(n int) *Directed {
+	return NewDirectedOn(n, BackendDense)
+}
+
+// NewDirectedOn returns an empty directed graph on n nodes with the given
+// row-storage backend. BackendAuto resolves to dense or sparse at
+// construction time based on n.
+func NewDirectedOn(n int, b Backend) *Directed {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	g := &Directed{
-		n:   n,
-		out: make([][]int32, n),
-		mat: make([]*bitset.Set, n),
-		in:  make([]int, n),
+	return &Directed{
+		n:    n,
+		out:  make([][]int32, n),
+		rows: newRowStore(n, b),
+		in:   make([]int, n),
 	}
-	for i := range g.mat {
-		g.mat[i] = bitset.New(n)
+}
+
+// Backend returns the concrete row-storage backend of the graph (never
+// BackendAuto — auto resolves at construction).
+func (g *Directed) Backend() Backend { return g.rows.backend() }
+
+// OnBackend returns a copy of the graph on the given backend, preserving
+// the out-lists verbatim — including insertion order, so simulations
+// resumed on the copy draw the same samples as on the original.
+func (g *Directed) OnBackend(b Backend) *Directed {
+	c := NewDirectedOn(g.n, b)
+	c.m = g.m
+	copy(c.in, g.in)
+	for u := range g.out {
+		if len(g.out[u]) == 0 {
+			continue
+		}
+		c.out[u] = append([]int32(nil), g.out[u]...)
+		for _, v := range g.out[u] {
+			c.rows.insert(u, int(v))
+		}
 	}
-	return g
+	return c
 }
 
 // N returns the number of nodes.
@@ -56,10 +83,9 @@ func (g *Directed) checkNode(u int) {
 func (g *Directed) AddArc(u, v int) bool {
 	g.checkNode(u)
 	g.checkNode(v)
-	if u == v || g.mat[u].Test(v) {
+	if u == v || !g.rows.insert(u, v) {
 		return false
 	}
-	g.mat[u].Set(v)
 	g.out[u] = append(g.out[u], int32(v))
 	g.in[v]++
 	g.m++
@@ -78,17 +104,41 @@ func (g *Directed) AddArcs(arcs []Arc, accepted []Arc) []Arc {
 
 // AddArcsGrouped inserts a batch of arcs exactly like AddArcs — same final
 // graph, same out-list insertion order, same duplicate semantics — but
-// applies each proposal to its tail row with a single fused word-level OR
-// (bitset.OrWord doubles as membership test and insertion) and appends
-// every newly inserted arc to accepted, returning the grown slice in
-// deterministic batch (commit) order; this list is the round's arc delta.
-// Pass a reused buffer (resliced to [:0]) to keep the commit
-// allocation-free in steady state. See AddEdgesGrouped for why batch order
-// beats counting-sort row grouping here.
+// appends every newly inserted arc to accepted, returning the grown slice
+// in deterministic batch (commit) order; this list is the round's arc
+// delta. On the dense backend each proposal is applied to its tail row with
+// a single fused word-level OR (bitset.OrWord doubles as membership test
+// and insertion); other backends go through the store's fused insert with
+// identical accepted lists and final state. Pass a reused buffer (resliced
+// to [:0]) to keep the commit allocation-free in steady state. See
+// AddEdgesGrouped for why batch order beats counting-sort row grouping
+// here.
 func (g *Directed) AddArcsGrouped(arcs []Arc, accepted []Arc) []Arc {
 	n := g.n
-	mat, out := g.mat, g.out
+	out := g.out
 	added := 0
+	if dr, ok := g.rows.(*denseRows); ok {
+		// Dense fast path: keep the fused word-level loop devirtualized.
+		mat := dr.rows
+		for _, a := range arcs {
+			u, v := a.U, a.V
+			if uint(u) >= uint(n) || uint(v) >= uint(n) {
+				panic(fmt.Sprintf("graph: arc (%d, %d) out of range [0,%d)", u, v, n))
+			}
+			if u == v {
+				continue
+			}
+			if mat[u].OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
+				continue
+			}
+			out[u] = append(out[u], int32(v))
+			g.in[v]++
+			accepted = append(accepted, a)
+			added++
+		}
+		g.m += added
+		return accepted
+	}
 	for _, a := range arcs {
 		u, v := a.U, a.V
 		if uint(u) >= uint(n) || uint(v) >= uint(n) {
@@ -97,7 +147,7 @@ func (g *Directed) AddArcsGrouped(arcs []Arc, accepted []Arc) []Arc {
 		if u == v {
 			continue
 		}
-		if mat[u].OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
+		if !g.rows.insert(u, v) {
 			continue
 		}
 		out[u] = append(out[u], int32(v))
@@ -113,7 +163,7 @@ func (g *Directed) AddArcsGrouped(arcs []Arc, accepted []Arc) []Arc {
 func (g *Directed) HasArc(u, v int) bool {
 	g.checkNode(u)
 	g.checkNode(v)
-	return g.mat[u].Test(v)
+	return g.rows.test(u, v)
 }
 
 // OutDegree returns the number of out-neighbors of u.
@@ -139,29 +189,50 @@ func (g *Directed) MissingOutDegree(u int) int {
 
 // MissingOutNeighbor returns the k-th (0-based, increasing node order) node
 // u has no arc toward, excluding u itself. It panics if k is out of
-// [0, MissingOutDegree(u)). Cost is O(n/64).
+// [0, MissingOutDegree(u)). Cost is O(n/64) on dense or promoted rows and
+// O(log d) on unpromoted sparse rows.
 func (g *Directed) MissingOutNeighbor(u, k int) int {
 	g.checkNode(u)
 	if k < 0 || k >= g.MissingOutDegree(u) {
 		panic(fmt.Sprintf("graph: missing-out-neighbor index %d out of range [0,%d) for node %d",
 			k, g.MissingOutDegree(u), u))
 	}
-	clearBelowU := u - g.mat[u].Rank(u)
+	clearBelowU := u - g.rows.rank(u, u)
 	if k >= clearBelowU {
 		k++
 	}
-	return g.mat[u].SelectClear(k)
+	return g.rows.selectClear(u, k)
 }
 
 // ForEachMissingOut calls fn for every node u has no arc toward (excluding
-// u itself) in increasing node order.
+// u itself) in increasing node order. The complement of a row has Θ(n)
+// values on sparse graphs; prefer MissingOutDegree/MissingOutNeighbor for
+// sampling.
 func (g *Directed) ForEachMissingOut(u int, fn func(v int)) {
 	g.checkNode(u)
-	g.mat[u].ForEachClear(func(v int) {
+	g.rows.forEachClear(u, func(v int) {
 		if v != u {
 			fn(v)
 		}
 	})
+}
+
+// RowDiffCount returns |target &^ out-row(u)|: how many of target's bits u
+// has no arc toward yet. target must have capacity N(). This is the
+// directed dense phase's per-node missing-closure counter, computed without
+// materializing the row on any backend.
+func (g *Directed) RowDiffCount(u int, target *bitset.Set) int {
+	g.checkNode(u)
+	return g.rows.diffCount(u, target)
+}
+
+// RowSelectDiff returns the k-th (0-based, increasing node order) bit of
+// target &^ out-row(u), or -1 if the difference has fewer than k+1 bits.
+// target must have capacity N(). This is the directed dense phase's
+// sampler: the k-th closure arc of a row still missing from the graph.
+func (g *Directed) RowSelectDiff(u int, target *bitset.Set, k int) int {
+	g.checkNode(u)
+	return g.rows.selectDiff(u, target, k)
 }
 
 // RandomOutNeighbor returns a uniformly random out-neighbor of u, or -1 if u
@@ -184,59 +255,67 @@ func (g *Directed) OutNeighbors(u int, dst []int) []int {
 	return dst
 }
 
-// OutRow returns the live bitset row of u's out-neighbors; callers must not
-// modify it.
+// OutRow returns the bitset row of u's out-neighbors. Callers must treat it
+// as read-only: on the dense backend it is the live row; on the sparse
+// backend it may be a freshly materialized snapshot (O(n/64) space) that
+// does not track later mutations. For diff queries against a target row,
+// prefer RowDiffCount/RowSelectDiff, which never materialize.
 func (g *Directed) OutRow(u int) *bitset.Set {
 	g.checkNode(u)
-	return g.mat[u]
+	return g.rows.row(u)
 }
 
 // Arcs returns all arcs ordered by tail then head.
 func (g *Directed) Arcs() []Arc {
 	out := make([]Arc, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		g.mat[u].ForEach(func(v int) {
+		g.rows.forEach(u, func(v int) {
 			out = append(out, Arc{u, v})
 		})
 	}
 	return out
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph on the same backend.
 func (g *Directed) Clone() *Directed {
 	c := &Directed{
-		n:   g.n,
-		out: make([][]int32, g.n),
-		mat: make([]*bitset.Set, g.n),
-		in:  append([]int(nil), g.in...),
-		m:   g.m,
+		n:    g.n,
+		out:  make([][]int32, g.n),
+		rows: g.rows.clone(),
+		in:   append([]int(nil), g.in...),
+		m:    g.m,
 	}
 	for u := 0; u < g.n; u++ {
 		c.out[u] = append([]int32(nil), g.out[u]...)
-		c.mat[u] = g.mat[u].Clone()
 	}
 	return c
 }
 
-// Equal reports whether g and h have identical node and arc sets.
+// Equal reports whether g and h have identical node and arc sets. The
+// comparison is backend-agnostic.
 func (g *Directed) Equal(h *Directed) bool {
 	if g.n != h.n || g.m != h.m {
 		return false
 	}
 	for u := 0; u < g.n; u++ {
-		if !g.mat[u].Equal(h.mat[u]) {
+		if len(g.out[u]) != len(h.out[u]) {
 			return false
+		}
+		for _, v := range g.out[u] {
+			if !h.rows.test(u, int(v)) {
+				return false
+			}
 		}
 	}
 	return true
 }
 
 // Underlying returns the undirected graph obtained by forgetting arc
-// directions.
+// directions, on the same backend.
 func (g *Directed) Underlying() *Undirected {
-	u := NewUndirected(g.n)
+	u := NewUndirectedOn(g.n, g.Backend())
 	for a := 0; a < g.n; a++ {
-		g.mat[a].ForEach(func(b int) {
+		g.rows.forEach(a, func(b int) {
 			u.AddEdge(a, b)
 		})
 	}
@@ -253,12 +332,12 @@ func (g *Directed) CheckInvariants() {
 	total := 0
 	inCount := make([]int, g.n)
 	for u := 0; u < g.n; u++ {
-		if g.mat[u].Test(u) {
+		if g.rows.test(u, u) {
 			panic(fmt.Sprintf("graph: self-arc at %d", u))
 		}
-		if len(g.out[u]) != g.mat[u].Count() {
-			panic(fmt.Sprintf("graph: node %d out list %d != matrix %d",
-				u, len(g.out[u]), g.mat[u].Count()))
+		if len(g.out[u]) != g.rows.count(u) {
+			panic(fmt.Sprintf("graph: node %d out list %d != row %d",
+				u, len(g.out[u]), g.rows.count(u)))
 		}
 		for _, v := range g.out[u] {
 			inCount[int(v)]++

@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"gossipdisc/internal/bitset"
+)
+
+// sparseRows is the O(m)-memory row store: each row starts as a sorted
+// []int32 of entries (4 bytes each) and promotes to a bitset row once it
+// holds promoteAt entries — the density at which the sorted form's memory
+// crosses the n-bit row's (32d bits vs n bits at d = n/32). Removals below
+// half the threshold demote back to the sorted form; the hysteresis gap
+// keeps a row oscillating around the threshold from thrashing between
+// representations.
+//
+// Complement and diff views flip meaning at the same threshold: a promoted
+// row answers rank/selectClear/selectDiff with the dense inverted-bitset
+// primitives, an unpromoted row answers them by binary search and
+// word-walks over the sorted entries — identical results either way, pinned
+// by FuzzSparseRow and the cross-backend equivalence suite.
+type sparseRows struct {
+	universe  int
+	promoteAt int
+	rows      []sparseRow
+}
+
+// sparseRow is one node's row: sorted entries while sparse, a bitset once
+// promoted. Exactly one of sorted/bits is in use (bits != nil ⇔ promoted);
+// cnt tracks the entry count in both forms.
+type sparseRow struct {
+	sorted []int32
+	bits   *bitset.Set
+	cnt    int
+}
+
+// sparsePromoteFloor is the minimum promotion threshold: below 16 entries a
+// sorted row is always cheaper than any bitset, whatever the universe.
+const sparsePromoteFloor = 16
+
+func promoteThreshold(n int) int {
+	t := n / 32
+	if t < sparsePromoteFloor {
+		t = sparsePromoteFloor
+	}
+	return t
+}
+
+func newSparseRows(n int) *sparseRows {
+	if n > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: sparse backend supports at most %d nodes, got %d", math.MaxInt32, n))
+	}
+	return &sparseRows{
+		universe:  n,
+		promoteAt: promoteThreshold(n),
+		rows:      make([]sparseRow, n),
+	}
+}
+
+func (s *sparseRows) backend() Backend { return BackendSparse }
+
+// find returns the position of v in the sorted entries of r, or the
+// insertion point if absent (second result false).
+func (r *sparseRow) find(v int) (int, bool) {
+	i := sort.Search(len(r.sorted), func(i int) bool { return int(r.sorted[i]) >= v })
+	return i, i < len(r.sorted) && int(r.sorted[i]) == v
+}
+
+func (s *sparseRows) test(u, v int) bool {
+	r := &s.rows[u]
+	if r.bits != nil {
+		return r.bits.Test(v)
+	}
+	_, ok := r.find(v)
+	return ok
+}
+
+func (s *sparseRows) insert(u, v int) bool {
+	r := &s.rows[u]
+	if r.bits != nil {
+		if r.bits.OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
+			return false
+		}
+		r.cnt++
+		return true
+	}
+	i, ok := r.find(v)
+	if ok {
+		return false
+	}
+	r.sorted = append(r.sorted, 0)
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = int32(v)
+	r.cnt++
+	if r.cnt >= s.promoteAt {
+		s.promote(r)
+	}
+	return true
+}
+
+func (s *sparseRows) promote(r *sparseRow) {
+	b := bitset.New(s.universe)
+	for _, v := range r.sorted {
+		b.Set(int(v))
+	}
+	r.bits = b
+	r.sorted = nil
+}
+
+func (s *sparseRows) demote(r *sparseRow) {
+	sorted := make([]int32, 0, r.cnt)
+	r.bits.ForEach(func(v int) { sorted = append(sorted, int32(v)) })
+	r.sorted = sorted
+	r.bits = nil
+}
+
+func (s *sparseRows) remove(u, v int) bool {
+	r := &s.rows[u]
+	if r.bits != nil {
+		if !r.bits.Test(v) {
+			return false
+		}
+		r.bits.Clear(v)
+		r.cnt--
+		if r.cnt < s.promoteAt/2 {
+			s.demote(r)
+		}
+		return true
+	}
+	i, ok := r.find(v)
+	if !ok {
+		return false
+	}
+	r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+	r.cnt--
+	return true
+}
+
+func (s *sparseRows) count(u int) int { return s.rows[u].cnt }
+
+func (s *sparseRows) forEach(u int, fn func(v int)) {
+	r := &s.rows[u]
+	if r.bits != nil {
+		r.bits.ForEach(fn)
+		return
+	}
+	for _, v := range r.sorted {
+		fn(int(v))
+	}
+}
+
+func (s *sparseRows) rank(u, v int) int {
+	r := &s.rows[u]
+	if r.bits != nil {
+		return r.bits.Rank(v)
+	}
+	i, _ := r.find(v)
+	return i
+}
+
+func (s *sparseRows) selectClear(u, k int) int {
+	if k < 0 {
+		return -1
+	}
+	r := &s.rows[u]
+	if r.bits != nil {
+		return r.bits.SelectClear(k)
+	}
+	// The number of absent values below sorted[i] is sorted[i]-i; the k-th
+	// absent value therefore lands after exactly i entries, where i is the
+	// first position with sorted[i]-i > k, and equals k+i.
+	i := sort.Search(len(r.sorted), func(i int) bool { return int(r.sorted[i])-i > k })
+	if v := k + i; v < s.universe {
+		return v
+	}
+	return -1
+}
+
+func (s *sparseRows) forEachClear(u int, fn func(v int)) {
+	r := &s.rows[u]
+	if r.bits != nil {
+		r.bits.ForEachClear(fn)
+		return
+	}
+	next := 0
+	for _, e := range r.sorted {
+		for v := next; v < int(e); v++ {
+			fn(v)
+		}
+		next = int(e) + 1
+	}
+	for v := next; v < s.universe; v++ {
+		fn(v)
+	}
+}
+
+func (s *sparseRows) checkTarget(target *bitset.Set) {
+	if target.Len() != s.universe {
+		panic(fmt.Sprintf("graph: target capacity %d != universe %d", target.Len(), s.universe))
+	}
+}
+
+func (s *sparseRows) diffCount(u int, target *bitset.Set) int {
+	r := &s.rows[u]
+	if r.bits != nil {
+		return target.DiffCount(r.bits)
+	}
+	s.checkTarget(target)
+	c := target.Count()
+	for _, v := range r.sorted {
+		if target.Test(int(v)) {
+			c--
+		}
+	}
+	return c
+}
+
+func (s *sparseRows) selectDiff(u int, target *bitset.Set, k int) int {
+	r := &s.rows[u]
+	if r.bits != nil {
+		return target.SelectDiff(r.bits, k)
+	}
+	s.checkTarget(target)
+	if k < 0 {
+		return -1
+	}
+	// Walk target's words with a cursor into the sorted entries: mask the
+	// row's bits out of each word and select within the remainder —
+	// O(n/64 + d) without materializing the row as a bitset.
+	ri := 0
+	for wi, nw := 0, target.Words(); wi < nw; wi++ {
+		d := target.Word(wi)
+		hi := (wi + 1) * 64
+		for ri < len(r.sorted) && int(r.sorted[ri]) < hi {
+			d &^= 1 << (uint(r.sorted[ri]) & 63)
+			ri++
+		}
+		c := bits.OnesCount64(d)
+		if k < c {
+			for ; k > 0; k-- {
+				d &= d - 1
+			}
+			return wi*64 + bits.TrailingZeros64(d)
+		}
+		k -= c
+	}
+	return -1
+}
+
+func (s *sparseRows) row(u int) *bitset.Set {
+	r := &s.rows[u]
+	if r.bits != nil {
+		return r.bits
+	}
+	b := bitset.New(s.universe)
+	for _, v := range r.sorted {
+		b.Set(int(v))
+	}
+	return b
+}
+
+func (s *sparseRows) clone() rowStore {
+	c := &sparseRows{
+		universe:  s.universe,
+		promoteAt: s.promoteAt,
+		rows:      make([]sparseRow, len(s.rows)),
+	}
+	for i := range s.rows {
+		r := &s.rows[i]
+		cr := &c.rows[i]
+		cr.cnt = r.cnt
+		if r.bits != nil {
+			cr.bits = r.bits.Clone()
+		} else if len(r.sorted) > 0 {
+			cr.sorted = append([]int32(nil), r.sorted...)
+		}
+	}
+	return c
+}

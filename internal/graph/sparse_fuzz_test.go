@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"testing"
+
+	"gossipdisc/internal/bitset"
+)
+
+// FuzzSparseRow fuzzes the sparse row primitives — insert, remove (and the
+// promote/demote transitions they trigger), rank, membership, complement
+// select, complement iteration, and the dense-phase diff queries — against
+// a bitset row as the oracle. The op stream is interpreted two bytes at a
+// time: the low 3 bits of the first byte pick the operation, the second
+// byte (scaled into the universe) is its argument. Universes are kept small
+// enough that the byte argument can reach every node and every complement
+// rank, and large enough that rows cross promoteAt = max(16, n/32) both
+// ways.
+func FuzzSparseRow(f *testing.F) {
+	f.Add(uint16(40), []byte{0, 1, 0, 2, 0, 3, 1, 2, 4, 0})
+	f.Add(uint16(130), []byte("insert-heavy seed that promotes the row........"))
+	f.Add(uint16(640), []byte{0, 10, 0, 20, 0, 30, 0, 40, 1, 20, 1, 10, 5, 0, 6, 7})
+	f.Add(uint16(1), []byte{0, 0, 1, 0, 3, 0})
+	f.Add(uint16(0), []byte{0, 0})
+	f.Fuzz(func(t *testing.T, un uint16, ops []byte) {
+		n := int(un)%2048 + 1
+		s := newSparseRows(n)
+		oracle := bitset.New(n)
+		target := bitset.New(n)
+		for i := 0; i < n; i += 3 {
+			target.Set(i) // fixed diff target exercising word boundaries
+		}
+		cnt := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			op := ops[i] & 7
+			v := int(ops[i+1]) * n / 256
+			if v >= n {
+				v = n - 1
+			}
+			switch op {
+			case 0, 1, 2: // insert-biased so rows actually promote
+				ins := s.insert(0, v)
+				if ins != !oracle.Test(v) {
+					t.Fatalf("insert(%d) returned %v with oracle %v", v, ins, oracle.Test(v))
+				}
+				if ins {
+					oracle.Set(v)
+					cnt++
+				}
+			case 3: // remove drives demotion
+				rem := s.remove(0, v)
+				if rem != oracle.Test(v) {
+					t.Fatalf("remove(%d) returned %v with oracle %v", v, rem, oracle.Test(v))
+				}
+				if rem {
+					oracle.Clear(v)
+					cnt--
+				}
+			case 4: // rank
+				if got, want := s.rank(0, v), oracle.Rank(v); got != want {
+					t.Fatalf("rank(%d) = %d, want %d", v, got, want)
+				}
+			case 5: // complement select at a fuzzed rank
+				k := v % (n - cnt + 1)
+				if got, want := s.selectClear(0, k), oracle.SelectClear(k); got != want {
+					t.Fatalf("selectClear(%d) = %d, want %d", k, got, want)
+				}
+			case 6: // diff queries against the fixed target
+				dc := s.diffCount(0, target)
+				if want := target.DiffCount(oracle); dc != want {
+					t.Fatalf("diffCount = %d, want %d", dc, want)
+				}
+				if dc > 0 {
+					k := v % dc
+					if got, want := s.selectDiff(0, target, k), target.SelectDiff(oracle, k); got != want {
+						t.Fatalf("selectDiff(%d) = %d, want %d", k, got, want)
+					}
+				}
+			case 7: // membership probe
+				if got, want := s.test(0, v), oracle.Test(v); got != want {
+					t.Fatalf("test(%d) = %v, want %v", v, got, want)
+				}
+			}
+			if s.count(0) != cnt {
+				t.Fatalf("count = %d after %d net inserts", s.count(0), cnt)
+			}
+			// Hysteresis invariant: promoted rows never sit below the
+			// demotion threshold; unpromoted rows never reach promoteAt.
+			r := &s.rows[0]
+			if r.bits != nil && r.cnt < s.promoteAt/2 {
+				t.Fatalf("row promoted with cnt=%d below demotion threshold %d", r.cnt, s.promoteAt/2)
+			}
+			if r.bits == nil && r.cnt >= s.promoteAt {
+				t.Fatalf("row unpromoted with cnt=%d at threshold %d", r.cnt, s.promoteAt)
+			}
+		}
+		// Final exhaustive sweep: the row, its complement, and a snapshot
+		// must match the oracle exactly, in increasing order.
+		last := -1
+		s.forEach(0, func(v int) {
+			if v <= last || !oracle.Test(v) {
+				t.Fatalf("forEach yielded %d (last %d, oracle %v)", v, last, oracle.Test(v))
+			}
+			last = v
+		})
+		last = -1
+		seen := 0
+		s.forEachClear(0, func(v int) {
+			if v <= last || oracle.Test(v) {
+				t.Fatalf("forEachClear yielded %d (last %d)", v, last)
+			}
+			last = v
+			seen++
+		})
+		if seen != n-cnt {
+			t.Fatalf("forEachClear yielded %d values, want %d", seen, n-cnt)
+		}
+		if !s.row(0).Equal(oracle) {
+			t.Fatal("materialized row differs from oracle")
+		}
+	})
+}

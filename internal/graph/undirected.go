@@ -3,11 +3,18 @@
 //
 // Both discovery processes only ever *add* edges, and they drive the graph
 // toward the complete graph (undirected) or the transitive closure
-// (directed). The representation is therefore tuned for dense graphs and for
-// the two hot operations in the inner simulation loop:
+// (directed). The representation is tuned for the two hot operations in the
+// inner simulation loop:
 //
 //   - uniform random neighbor sampling: O(1) via per-node adjacency slices;
-//   - edge-membership tests: O(1) via a bitset adjacency matrix.
+//   - edge-membership tests: O(1) via per-node row sets.
+//
+// Row sets are pluggable (see Backend): the dense backend keeps an n-bit
+// bitset per node — the golden reference — while the sparse backend keeps
+// sorted adjacency rows that promote to bitsets past a density threshold,
+// taking graphs to n = 100k–1M. All random sampling reads only the
+// insertion-ordered adjacency slices, which every backend maintains
+// identically, so simulation results are byte-identical across backends.
 //
 // Node identifiers are dense integers in [0, N()). Self-loops and parallel
 // edges are never stored; AddEdge reports whether an edge was new, which is
@@ -38,26 +45,52 @@ func (e Edge) Norm() Edge {
 // edge insertion only (the discovery processes never delete edges; deletion
 // for churn experiments is handled by rebuilding, see RemoveNode).
 type Undirected struct {
-	n   int
-	adj [][]int32     // adjacency lists; adj[u] holds the neighbors of u
-	mat []*bitset.Set // adjacency matrix rows for O(1) membership
-	m   int           // number of edges
+	n    int
+	adj  [][]int32 // adjacency lists; adj[u] holds the neighbors of u
+	rows rowStore  // per-node row sets for O(1) membership + complement views
+	m    int       // number of edges
 }
 
-// NewUndirected returns an empty undirected graph on n nodes.
+// NewUndirected returns an empty undirected graph on n nodes, on the dense
+// golden-reference backend.
 func NewUndirected(n int) *Undirected {
+	return NewUndirectedOn(n, BackendDense)
+}
+
+// NewUndirectedOn returns an empty undirected graph on n nodes with the
+// given row-storage backend. BackendAuto resolves to dense or sparse at
+// construction time based on n.
+func NewUndirectedOn(n int, b Backend) *Undirected {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	g := &Undirected{
-		n:   n,
-		adj: make([][]int32, n),
-		mat: make([]*bitset.Set, n),
+	return &Undirected{
+		n:    n,
+		adj:  make([][]int32, n),
+		rows: newRowStore(n, b),
 	}
-	for i := range g.mat {
-		g.mat[i] = bitset.New(n)
+}
+
+// Backend returns the concrete row-storage backend of the graph (never
+// BackendAuto — auto resolves at construction).
+func (g *Undirected) Backend() Backend { return g.rows.backend() }
+
+// OnBackend returns a copy of the graph on the given backend, preserving
+// the adjacency lists verbatim — including insertion order, so simulations
+// resumed on the copy draw the same samples as on the original.
+func (g *Undirected) OnBackend(b Backend) *Undirected {
+	c := NewUndirectedOn(g.n, b)
+	c.m = g.m
+	for u := range g.adj {
+		if len(g.adj[u]) == 0 {
+			continue
+		}
+		c.adj[u] = append([]int32(nil), g.adj[u]...)
+		for _, v := range g.adj[u] {
+			c.rows.insert(u, int(v))
+		}
 	}
-	return g
+	return c
 }
 
 // N returns the number of nodes.
@@ -78,11 +111,10 @@ func (g *Undirected) checkNode(u int) {
 func (g *Undirected) AddEdge(u, v int) bool {
 	g.checkNode(u)
 	g.checkNode(v)
-	if u == v || g.mat[u].Test(v) {
+	if u == v || !g.rows.insert(u, v) {
 		return false
 	}
-	g.mat[u].Set(v)
-	g.mat[v].Set(u)
+	g.rows.insert(v, u)
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.m++
@@ -105,20 +137,45 @@ func (g *Undirected) AddEdges(edges []Edge) int {
 // accepted list is the round's edge delta, emitted in deterministic batch
 // (commit) order.
 //
-// Each proposal is applied to its graph row with a single fused word-level
-// OR (bitset.OrWord): the returned new-bits mask is both the membership
-// test and the insertion, replacing the Test+Set+Set sequence of the
-// per-edge path. A stable counting-sort row grouping of the batch was
-// benchmarked here and lost 2–4× across every regime — gossip proposals
-// have no row locality, so sorting costs more than the matrix accesses it
-// saves (see DESIGN.md "Word-level batched commits").
+// On the dense backend each proposal is applied to its graph row with a
+// single fused word-level OR (bitset.OrWord): the returned new-bits mask is
+// both the membership test and the insertion, replacing the Test+Set+Set
+// sequence of the per-edge path. A stable counting-sort row grouping of the
+// batch was benchmarked here and lost 2–4× across every regime — gossip
+// proposals have no row locality, so sorting costs more than the matrix
+// accesses it saves (see DESIGN.md "Word-level batched commits"). Other
+// backends go through the store's fused insert; accepted lists and final
+// state are identical either way.
 //
 // Pass a reused buffer (resliced to [:0]) to keep the commit
 // allocation-free in steady state.
 func (g *Undirected) AddEdgesGrouped(edges []Edge, accepted []Edge) []Edge {
 	n := g.n
-	mat, adj := g.mat, g.adj
+	adj := g.adj
 	added := 0
+	if dr, ok := g.rows.(*denseRows); ok {
+		// Dense fast path: keep the fused word-level loop devirtualized.
+		mat := dr.rows
+		for _, e := range edges {
+			u, v := e.U, e.V
+			if uint(u) >= uint(n) || uint(v) >= uint(n) {
+				panic(fmt.Sprintf("graph: edge {%d, %d} out of range [0,%d)", u, v, n))
+			}
+			if u == v {
+				continue
+			}
+			if mat[u].OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
+				continue // already present, or a duplicate earlier in the batch
+			}
+			mat[v].OrWord(u>>6, 1<<(uint(u)&63))
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+			accepted = append(accepted, e.Norm())
+			added++
+		}
+		g.m += added
+		return accepted
+	}
 	for _, e := range edges {
 		u, v := e.U, e.V
 		if uint(u) >= uint(n) || uint(v) >= uint(n) {
@@ -127,10 +184,10 @@ func (g *Undirected) AddEdgesGrouped(edges []Edge, accepted []Edge) []Edge {
 		if u == v {
 			continue
 		}
-		if mat[u].OrWord(v>>6, 1<<(uint(v)&63)) == 0 {
-			continue // already present, or a duplicate earlier in the batch
+		if !g.rows.insert(u, v) {
+			continue
 		}
-		mat[v].OrWord(u>>6, 1<<(uint(u)&63))
+		g.rows.insert(v, u)
 		adj[u] = append(adj[u], int32(v))
 		adj[v] = append(adj[v], int32(u))
 		accepted = append(accepted, e.Norm())
@@ -144,7 +201,7 @@ func (g *Undirected) AddEdgesGrouped(edges []Edge, accepted []Edge) []Edge {
 func (g *Undirected) HasEdge(u, v int) bool {
 	g.checkNode(u)
 	g.checkNode(v)
-	return g.mat[u].Test(v)
+	return g.rows.test(u, v)
 }
 
 // Degree returns the number of neighbors of u.
@@ -193,18 +250,21 @@ func (g *Undirected) Neighbors(u int, dst []int) []int {
 	return dst
 }
 
-// NeighborRow returns the bitset row of u's neighbors. The returned set is
-// live — callers must not modify it.
+// NeighborRow returns the bitset row of u's neighbors. Callers must treat
+// it as read-only: on the dense backend it is the live row; on the sparse
+// backend it may be a freshly materialized snapshot (O(n/64) space) that
+// does not track later mutations.
 func (g *Undirected) NeighborRow(u int) *bitset.Set {
 	g.checkNode(u)
-	return g.mat[u]
+	return g.rows.row(u)
 }
 
-// Edges returns all edges with U < V, grouped by the smaller endpoint.
+// Edges returns all edges with U < V, grouped by the smaller endpoint in
+// increasing neighbor order.
 func (g *Undirected) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		g.mat[u].ForEach(func(v int) {
+		g.rows.forEach(u, func(v int) {
 			if u < v {
 				out = append(out, Edge{u, v})
 			}
@@ -261,22 +321,24 @@ func (g *Undirected) MissingDegree(u int) int {
 
 // MissingNeighbor returns the k-th (0-based, increasing node order)
 // non-neighbor of u, excluding u itself. It panics if k is out of
-// [0, MissingDegree(u)). Cost is O(n/64): one rank plus one select over the
-// inverted bitset row.
+// [0, MissingDegree(u)). Cost is O(n/64) on dense or promoted rows — one
+// rank plus one select over the inverted row — and O(log d) on unpromoted
+// sparse rows.
 func (g *Undirected) MissingNeighbor(u, k int) int {
 	g.checkNode(u)
 	if k < 0 || k >= g.MissingDegree(u) {
 		panic(fmt.Sprintf("graph: missing-neighbor index %d out of range [0,%d) for node %d",
 			k, g.MissingDegree(u), u))
 	}
-	// The clear bits of u's row are its non-neighbors plus u itself (no
-	// self-loop is ever stored). Clear bits below u are unaffected; at u and
-	// beyond, skip u's own clear bit by shifting the select index once.
-	clearBelowU := u - g.mat[u].Rank(u)
+	// The values absent from u's row are its non-neighbors plus u itself
+	// (no self-loop is ever stored). Absent values below u are unaffected;
+	// at u and beyond, skip u's own absent slot by shifting the select
+	// index once.
+	clearBelowU := u - g.rows.rank(u, u)
 	if k >= clearBelowU {
 		k++
 	}
-	return g.mat[u].SelectClear(k)
+	return g.rows.selectClear(u, k)
 }
 
 // RandomMissingNeighbor returns a uniformly random node u is not adjacent
@@ -291,39 +353,48 @@ func (g *Undirected) RandomMissingNeighbor(u int, r *rng.Rand) int {
 }
 
 // ForEachMissing calls fn for every non-neighbor of u (excluding u itself)
-// in increasing node order — the inverted-row iterator over u's complement.
+// in increasing node order — the iterator over u's complement. Note the
+// complement of a row has Θ(n) values on sparse graphs; prefer
+// MissingDegree/MissingNeighbor for sampling.
 func (g *Undirected) ForEachMissing(u int, fn func(v int)) {
 	g.checkNode(u)
-	g.mat[u].ForEachClear(func(v int) {
+	g.rows.forEachClear(u, func(v int) {
 		if v != u {
 			fn(v)
 		}
 	})
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph on the same backend.
 func (g *Undirected) Clone() *Undirected {
 	c := &Undirected{
-		n:   g.n,
-		adj: make([][]int32, g.n),
-		mat: make([]*bitset.Set, g.n),
-		m:   g.m,
+		n:    g.n,
+		adj:  make([][]int32, g.n),
+		rows: g.rows.clone(),
+		m:    g.m,
 	}
 	for u := 0; u < g.n; u++ {
 		c.adj[u] = append([]int32(nil), g.adj[u]...)
-		c.mat[u] = g.mat[u].Clone()
 	}
 	return c
 }
 
-// Equal reports whether g and h have identical node and edge sets.
+// Equal reports whether g and h have identical node and edge sets. The
+// comparison is backend-agnostic: a dense graph and a sparse graph holding
+// the same edges are equal.
 func (g *Undirected) Equal(h *Undirected) bool {
 	if g.n != h.n || g.m != h.m {
 		return false
 	}
 	for u := 0; u < g.n; u++ {
-		if !g.mat[u].Equal(h.mat[u]) {
+		if len(g.adj[u]) != len(h.adj[u]) {
 			return false
+		}
+		// Same degree and g's row ⊆ h's row ⇒ identical rows.
+		for _, v := range g.adj[u] {
+			if !h.rows.test(u, int(v)) {
+				return false
+			}
 		}
 	}
 	return true
@@ -340,7 +411,8 @@ func (g *Undirected) DegreeHistogram() []int {
 }
 
 // InducedSubgraph returns the subgraph induced by nodes (which must be
-// distinct and valid) relabeled to 0..len(nodes)-1, preserving node order.
+// distinct and valid) relabeled to 0..len(nodes)-1, preserving node order
+// and the backend.
 func (g *Undirected) InducedSubgraph(nodes []int) *Undirected {
 	idx := make(map[int]int, len(nodes))
 	for i, u := range nodes {
@@ -350,7 +422,7 @@ func (g *Undirected) InducedSubgraph(nodes []int) *Undirected {
 		}
 		idx[u] = i
 	}
-	s := NewUndirected(len(nodes))
+	s := NewUndirectedOn(len(nodes), g.Backend())
 	for i, u := range nodes {
 		for _, v32 := range g.adj[u] {
 			if j, ok := idx[int(v32)]; ok && i < j {
@@ -366,21 +438,21 @@ func (g *Undirected) String() string {
 	return fmt.Sprintf("U(n=%d, m=%d)", g.n, g.m)
 }
 
-// CheckInvariants validates internal consistency (adjacency lists vs matrix,
+// CheckInvariants validates internal consistency (adjacency lists vs rows,
 // symmetry, no self-loops, edge count). It is used by tests and is cheap
 // enough to run after property-based mutations; it panics on violation.
 func (g *Undirected) CheckInvariants() {
 	total := 0
 	for u := 0; u < g.n; u++ {
-		if g.mat[u].Test(u) {
+		if g.rows.test(u, u) {
 			panic(fmt.Sprintf("graph: self-loop at %d", u))
 		}
-		if len(g.adj[u]) != g.mat[u].Count() {
-			panic(fmt.Sprintf("graph: node %d adj list %d != matrix %d",
-				u, len(g.adj[u]), g.mat[u].Count()))
+		if len(g.adj[u]) != g.rows.count(u) {
+			panic(fmt.Sprintf("graph: node %d adj list %d != row %d",
+				u, len(g.adj[u]), g.rows.count(u)))
 		}
 		for _, v := range g.adj[u] {
-			if !g.mat[int(v)].Test(u) {
+			if !g.rows.test(int(v), u) {
 				panic(fmt.Sprintf("graph: asymmetric edge %d-%d", u, v))
 			}
 		}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+)
+
+// This file pins the cross-backend determinism contract end to end: a full
+// discovery run must produce a byte-identical Result AND a byte-identical
+// round-delta stream on the dense, sparse, and auto backends, for every
+// engine (Workers 0, 1, 4) and with the dense phase on or off. The adjacency
+// lists — which drive all random draws — are backend-independent, so any
+// divergence here means a row backend changed an observable it must not.
+
+// deltaHash folds a RoundDelta's data fields into a running fnv-1a hash.
+// The func field (MissingDegree) cannot be hashed; ActiveWorkers is
+// schedule telemetry explicitly outside the determinism contract. Every
+// other field participates.
+type deltaHash struct{ h uint64 }
+
+func newDeltaHash() *deltaHash { return &deltaHash{h: 14695981039346656037} }
+
+func (d *deltaHash) ints(vs ...int) {
+	for _, v := range vs {
+		d.h ^= uint64(v)
+		d.h *= 1099511628211
+	}
+}
+
+func (d *deltaHash) observe(g *graph.Undirected, rd *RoundDelta) {
+	d.ints(rd.Round, len(rd.NewEdges), rd.EdgesRemaining, rd.Members, rd.MemberEdges)
+	for _, e := range rd.NewEdges {
+		d.ints(e.U, e.V)
+	}
+	for i, u := range rd.Touched {
+		d.ints(int(u), int(rd.DegreeInc[u]), i)
+	}
+	for _, u := range rd.Joined {
+		d.ints(int(u))
+	}
+	for _, u := range rd.Left {
+		d.ints(int(u))
+	}
+	// Spot-check the O(1) complement view against the live graph.
+	if len(rd.Touched) > 0 {
+		u := int(rd.Touched[0])
+		if rd.MissingDegree(u) != g.MissingDegree(u) {
+			panic("delta MissingDegree disagrees with graph")
+		}
+	}
+}
+
+func (d *deltaHash) observeDirected(g *graph.Directed, rd *DirectedRoundDelta) {
+	d.ints(rd.Round, len(rd.NewArcs), rd.ClosureArcsRemaining)
+	for _, a := range rd.NewArcs {
+		d.ints(a.U, a.V)
+	}
+	for i, u := range rd.OutTouched {
+		d.ints(int(u), int(rd.OutDegreeInc[u]), i)
+	}
+	for i, u := range rd.InTouched {
+		d.ints(int(u), int(rd.InDegreeInc[u]), i)
+	}
+}
+
+// runFingerprint executes one full undirected discovery run and returns the
+// Result plus the delta-stream hash.
+func runFingerprint(b graph.Backend, n, workers int, densePhase float64) (Result, uint64) {
+	g := gen.Cycle(n, b)
+	dh := newDeltaHash()
+	res := Run(g, core.Push{}, rng.New(uint64(1000+n)), Config{
+		Workers:       workers,
+		DensePhase:    densePhase,
+		DeltaObserver: dh.observe,
+	})
+	if !g.IsComplete() {
+		panic("run did not complete the graph")
+	}
+	return res, dh.h
+}
+
+// TestBackendRunGoldens: dense is the golden reference; sparse and auto must
+// reproduce its Result and delta stream exactly at every size, worker count,
+// and dense-phase setting. n=1024 is skipped under the race detector (the
+// full matrix would dominate CI) — the race job still covers 64 and 256.
+func TestBackendRunGoldens(t *testing.T) {
+	sizes := []int{64, 256}
+	if !raceEnabled && !testing.Short() {
+		sizes = append(sizes, 1024)
+	}
+	for _, n := range sizes {
+		for _, workers := range []int{0, 1, 4} {
+			for _, dense := range []float64{0, 0.3} {
+				n, workers, dense := n, workers, dense
+				name := fmt.Sprintf("n=%d/w=%d/dense=%v", n, workers, dense)
+				t.Run(name, func(t *testing.T) {
+					wantRes, wantHash := runFingerprint(graph.BackendDense, n, workers, dense)
+					for _, b := range []graph.Backend{graph.BackendSparse, graph.BackendAuto} {
+						res, h := runFingerprint(b, n, workers, dense)
+						if res != wantRes {
+							t.Fatalf("%v Result diverged:\n dense: %+v\n %v: %+v", b, wantRes, b, res)
+						}
+						if h != wantHash {
+							t.Fatalf("%v delta stream diverged from dense (hash %x vs %x)", b, h, wantHash)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// runDirectedFingerprint is the directed analogue of runFingerprint.
+func runDirectedFingerprint(b graph.Backend, n, workers int, densePhase float64) (DirectedResult, uint64) {
+	g := gen.RandomStronglyConnected(n, n/2, rng.New(uint64(7000+n)), b)
+	dh := newDeltaHash()
+	res := RunDirected(g, core.DirectedTwoHop{}, rng.New(uint64(2000+n)), DirectedConfig{
+		Workers:       workers,
+		DensePhase:    densePhase,
+		DeltaObserver: dh.observeDirected,
+	})
+	return res, dh.h
+}
+
+// TestBackendDirectedRunGoldens is the directed-closure analogue: the
+// two-hop process must terminate with identical statistics and delta
+// streams on every backend.
+func TestBackendDirectedRunGoldens(t *testing.T) {
+	for _, n := range []int{48, 96} {
+		for _, workers := range []int{0, 2} {
+			for _, dense := range []float64{0, 0.5} {
+				n, workers, dense := n, workers, dense
+				name := fmt.Sprintf("n=%d/w=%d/dense=%v", n, workers, dense)
+				t.Run(name, func(t *testing.T) {
+					wantRes, wantHash := runDirectedFingerprint(graph.BackendDense, n, workers, dense)
+					if !wantRes.Converged {
+						t.Fatal("golden directed run did not converge")
+					}
+					res, h := runDirectedFingerprint(graph.BackendSparse, n, workers, dense)
+					if res != wantRes {
+						t.Fatalf("sparse DirectedResult diverged:\n dense:  %+v\n sparse: %+v", wantRes, res)
+					}
+					if h != wantHash {
+						t.Fatalf("sparse delta stream diverged from dense (hash %x vs %x)", h, wantHash)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBackendSessionMembershipLockstep drives two membership-tracked
+// sessions — dense and sparse — through the same leave/rejoin/inject/step
+// schedule and asserts the coverage counters and graphs agree after every
+// step. This is the PR 4 membership-accounting property re-pinned on the
+// sparse substrate.
+func TestBackendSessionMembershipLockstep(t *testing.T) {
+	const n = 96
+	mk := func(b graph.Backend) *Session {
+		g := gen.Cycle(n, b)
+		s := NewSession(g, core.Push{}, rng.New(4242), Config{
+			Workers:   2,
+			MaxRounds: -1,
+			Done:      func(*graph.Undirected) bool { return false },
+		})
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+		s.TrackMembership(alive)
+		return s
+	}
+	sd, ss := mk(graph.BackendDense), mk(graph.BackendSparse)
+	defer sd.Close()
+	defer ss.Close()
+	r := rng.New(99)
+	member := make([]bool, n)
+	for i := range member {
+		member[i] = true
+	}
+	for step := 0; step < 150; step++ {
+		u := r.Intn(n)
+		switch op := r.Intn(6); {
+		case op == 0 && member[u]:
+			sd.RemoveNode(u)
+			ss.RemoveNode(u)
+			member[u] = false
+		case op == 1 && !member[u]:
+			v := (u + 1 + r.Intn(n-1)) % n
+			sd.InsertNode(u)
+			ss.InsertNode(u)
+			member[u] = true
+			if sd.AddEdge(u, v) != ss.AddEdge(u, v) {
+				t.Fatalf("step %d: AddEdge(%d,%d) accepted differently", step, u, v)
+			}
+		default:
+			sd.Step()
+			ss.Step()
+		}
+		if sd.MemberEdges() != ss.MemberEdges() {
+			t.Fatalf("step %d: MemberEdges %d vs %d", step, sd.MemberEdges(), ss.MemberEdges())
+		}
+		if sd.MemberEdgesRemaining() != ss.MemberEdgesRemaining() {
+			t.Fatalf("step %d: MemberEdgesRemaining %d vs %d",
+				step, sd.MemberEdgesRemaining(), ss.MemberEdgesRemaining())
+		}
+		if sd.EdgesRemaining() != ss.EdgesRemaining() {
+			t.Fatalf("step %d: EdgesRemaining %d vs %d", step, sd.EdgesRemaining(), ss.EdgesRemaining())
+		}
+	}
+	if !sd.Graph().Equal(ss.Graph()) {
+		t.Fatal("graphs diverged after lockstep schedule")
+	}
+}
+
+// TestDeltaHashSensitivity guards the harness itself: the hash must change
+// when the run changes, or the goldens above prove nothing.
+func TestDeltaHashSensitivity(t *testing.T) {
+	_, h1 := runFingerprint(graph.BackendDense, 64, 1, 0)
+	_, h2 := runFingerprint(graph.BackendDense, 64, 1, 0.3)
+	if h1 == h2 {
+		t.Fatal("delta hash is insensitive to the dense phase")
+	}
+}

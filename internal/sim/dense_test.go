@@ -450,11 +450,19 @@ func TestEdgesRemainingMembershipAware(t *testing.T) {
 // membership counter — members, member edges, member pairs remaining — and
 // the per-node missing-degree views must equal a brute-force recount. In
 // particular a node that leaves and later rejoins must not double-count
-// the pairs it re-enters with.
+// the pairs it re-enters with. The property runs on both row backends:
+// the membership counters lean on the graph's complement views, which is
+// exactly where the sparse substrate changes representation.
 func TestMembershipCountersProperty(t *testing.T) {
+	for _, backend := range []graph.Backend{graph.BackendDense, graph.BackendSparse} {
+		testMembershipCountersProperty(t, backend)
+	}
+}
+
+func testMembershipCountersProperty(t *testing.T, backend graph.Backend) {
 	const n = 48
 	for _, dense := range []float64{0, 1} {
-		g := gen.Cycle(n)
+		g := gen.Cycle(n, backend)
 		alive := make([]bool, n)
 		for u := 0; u < n; u++ {
 			alive[u] = u < 32
@@ -490,8 +498,8 @@ func TestMembershipCountersProperty(t *testing.T) {
 				}
 			}
 			if s.MemberCount() != members || s.MemberEdges() != edges {
-				t.Fatalf("dense=%v step %d: counters (%d members, %d edges) != recount (%d, %d)",
-					dense, step, s.MemberCount(), s.MemberEdges(), members, edges)
+				t.Fatalf("%v dense=%v step %d: counters (%d members, %d edges) != recount (%d, %d)",
+					backend, dense, step, s.MemberCount(), s.MemberEdges(), members, edges)
 			}
 			if s.EdgesRemaining() != missing || s.MemberEdgesRemaining() != missing {
 				t.Fatalf("dense=%v step %d: remaining %d/%d != recount %d",
@@ -538,10 +546,18 @@ func TestMembershipCountersProperty(t *testing.T) {
 
 // TestDirectedMissingRowProperty: the DirectedSession's per-node
 // missing-closure counters equal a brute-force target &^ out recount after
-// every committed round, dense and default.
+// every committed round, dense and default, on both row backends. The
+// brute-force side goes through OutRow — which on sparse is a materialized
+// snapshot — so the test also pins that snapshot semantics stay correct.
 func TestDirectedMissingRowProperty(t *testing.T) {
+	for _, backend := range []graph.Backend{graph.BackendDense, graph.BackendSparse} {
+		testDirectedMissingRowProperty(t, backend)
+	}
+}
+
+func testDirectedMissingRowProperty(t *testing.T, backend graph.Backend) {
 	for _, dense := range []float64{0, 0.6} {
-		g := gen.RandomStronglyConnected(80, 30, rng.New(14))
+		g := gen.RandomStronglyConnected(80, 30, rng.New(14), backend)
 		target := g.TransitiveClosure()
 		s := NewDirectedSession(g, core.DirectedTwoHop{}, rng.New(15),
 			DirectedConfig{Workers: 2, DensePhase: dense})

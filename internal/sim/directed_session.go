@@ -95,7 +95,7 @@ func NewDirectedSession(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, 
 	s.missingRow = make([]int32, g.N())
 	for u, row := range s.target {
 		s.res.TargetArcs += row.Count()
-		miss := row.DiffCount(g.OutRow(u))
+		miss := g.RowDiffCount(u, row)
 		s.missingRow[u] = int32(miss)
 		s.missing += miss
 	}
@@ -356,7 +356,7 @@ func (s *DirectedSession) denseAct(lo, hi int, r *rng.Rand, propose func(a, b in
 				u++
 			}
 		}
-		propose(u, s.target[u].SelectDiff(s.g.OutRow(u), t))
+		propose(u, s.g.RowSelectDiff(u, s.target[u], t))
 	}
 }
 
