@@ -18,7 +18,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
@@ -37,6 +36,8 @@ func main() {
 		workers        = flag.String("workers", "0", "per-run round-engine workers: 0 = classic sequential engine, k >= 1 = sharded deterministic engine, -1 = GOMAXPROCS, auto = adaptive autoscaling")
 		trialsParallel = flag.Int("trials-parallel", 0, "concurrent trials per sweep point (0 = GOMAXPROCS, 1 = strictly sequential; outputs are byte-identical for every value)")
 		backendName    = flag.String("backend", "dense", "graph row-storage backend for workload generation: dense | sparse | auto (outputs are byte-identical)")
+		sched          = flag.String("sched", "both", "async runtimes the scheduler experiments (E15) tabulate: both | tick | event")
+		ratesSpec      = flag.String("rates", "", "eventsim rate spec adding a custom-population table to E20, e.g. \"0.5,fast=8:0-15\" (resolved against the sweep's largest n)")
 		outDir         = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
 		list           = flag.Bool("list", false, "list experiments and exit")
 	)
@@ -49,35 +50,29 @@ func main() {
 		return
 	}
 
+	opts := &options{
+		workers: *workers, trialsParallel: *trialsParallel,
+		backend: *backendName, sched: *sched, rates: *ratesSpec,
+	}
+	if err := opts.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 	// Resolve -workers exactly as gossipsim does: "auto" selects the
-	// autoscaling sentinel, -1 resolves to GOMAXPROCS, anything else must
-	// be an integer >= 0.
-	engineWorkers := 0
-	if *workers == "auto" {
+	// autoscaling sentinel, -1 resolves to GOMAXPROCS (validate already
+	// rejected everything else).
+	wcount, wauto, _ := opts.workerCount()
+	engineWorkers := wcount
+	if wauto {
 		engineWorkers = sim.WorkersAuto
-	} else {
-		n, err := strconv.Atoi(*workers)
-		if err != nil || n < -1 {
-			fmt.Fprintf(os.Stderr, "experiments: -workers must be an integer >= -1 or \"auto\" (got %q)\n", *workers)
-			os.Exit(1)
-		}
-		if n < 0 {
-			n = runtime.GOMAXPROCS(0)
-		}
-		engineWorkers = n
+	} else if wcount < 0 {
+		engineWorkers = runtime.GOMAXPROCS(0)
 	}
-	if *trialsParallel < 0 {
-		fmt.Fprintf(os.Stderr, "experiments: -trials-parallel must be >= 0 (0 = GOMAXPROCS, 1 = sequential; got %d)\n", *trialsParallel)
-		os.Exit(1)
-	}
-	backend, err := graph.ParseBackend(*backendName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: -backend must be dense, sparse, or auto (got %q)\n", *backendName)
-		os.Exit(1)
-	}
+	backend, _ := graph.ParseBackend(*backendName)
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv,
 		Workers: engineWorkers, TrialWorkers: *trialsParallel, Backend: backend,
+		Sched: *sched, RateSpec: *ratesSpec,
 	}
 
 	var selected []experiments.Experiment

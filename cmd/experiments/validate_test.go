@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// good returns a fully valid option set; cases mutate one field at a time.
+func good() options {
+	return options{workers: "0", trialsParallel: 0, backend: "dense", sched: "both"}
+}
+
+func TestValidateOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // empty = must pass
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"workers GOMAXPROCS sentinel", func(o *options) { o.workers = "-1" }, ""},
+		{"workers sharded", func(o *options) { o.workers = "8" }, ""},
+		{"workers auto", func(o *options) { o.workers = "auto" }, ""},
+		{"trials parallel sequential", func(o *options) { o.trialsParallel = 1 }, ""},
+		{"backend sparse", func(o *options) { o.backend = "sparse" }, ""},
+		{"backend auto", func(o *options) { o.backend = "auto" }, ""},
+		{"sched empty means both", func(o *options) { o.sched = "" }, ""},
+		{"sched tick", func(o *options) { o.sched = "tick" }, ""},
+		{"sched event", func(o *options) { o.sched = "event" }, ""},
+		{"rates default", func(o *options) { o.rates = "2" }, ""},
+		{"rates classes", func(o *options) { o.rates = "0.5,fast=8:0-15,park=0:16" }, ""},
+
+		{"workers below sentinel", func(o *options) { o.workers = "-2" }, "-workers"},
+		{"workers gibberish", func(o *options) { o.workers = "many" }, "-workers"},
+		{"workers empty", func(o *options) { o.workers = "" }, "-workers"},
+		{"negative trials parallel", func(o *options) { o.trialsParallel = -1 }, "-trials-parallel"},
+		{"unknown backend", func(o *options) { o.backend = "hologram" }, "-backend"},
+		{"unknown sched", func(o *options) { o.sched = "fifo" }, "-sched"},
+		{"malformed rates", func(o *options) { o.rates = "fast=oops:0-3" }, "-rates"},
+		{"negative rate", func(o *options) { o.rates = "-1" }, "-rates"},
+		{"two default rates", func(o *options) { o.rates = "1,2" }, "-rates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := good()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	"gossipdisc/internal/core"
+	"gossipdisc/internal/eventsim"
 	"gossipdisc/internal/gen"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/metrics"
@@ -38,6 +39,8 @@ func main() {
 		trials       = flag.Int("trials", 1, "independent trials")
 		seed         = flag.Uint64("seed", 1, "root seed")
 		mode         = flag.String("mode", "sync", "scheduler: sync | eager | async")
+		sched        = flag.String("sched", "tick", "async runtime: tick (discretized uniform activations) | event (continuous per-node Poisson clocks; enables -rates)")
+		ratesSpec    = flag.String("rates", "", "event-runtime rate spec: \"R\" sets the default rate, \"name=R:lo-hi\" defines a class over nodes lo..hi inclusive, comma-separated (empty = uniform rate 1; requires -sched event)")
 		workers      = flag.String("workers", "0", "round-engine workers: 0 = classic sequential engine, k >= 1 = sharded deterministic engine, -1 = GOMAXPROCS, auto = adaptive autoscaling")
 		roundsBudget = flag.Int("rounds", 0, "stop each trial after this many rounds even if not converged (0 = run to convergence)")
 		traceAt      = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off; trial 0 is driven step-wise through the session API)")
@@ -64,6 +67,7 @@ func main() {
 		n: *n, trials: *trials, seed: *seed, workers: *workers,
 		rounds: *roundsBudget, traceAt: *traceAt, fail: *failProb, dense: *dense,
 		scenario: *scenarioPath, backend: *backendName,
+		sched: *sched, rates: *ratesSpec,
 	}
 	if err := opts.validate(); err != nil {
 		fatalf("%v", err)
@@ -127,6 +131,11 @@ func main() {
 	}
 	if *n < fam.MinN {
 		fatalf("family %q needs n >= %d", fam.Name, fam.MinN)
+	}
+
+	if async && *sched == "event" {
+		runEvent(proc, fam, *n, *trials, *seed, *roundsBudget, *ratesSpec, backend)
+		return
 	}
 
 	root := rng.New(*seed)
@@ -273,6 +282,62 @@ func runWire(process, family string, n, trials int, seed uint64, budget int, pat
 	sum := stats.Summarize(rounds)
 	fn := float64(n)
 	fmt.Printf("\nrounds: %s   rounds/(n ln n)=%.3f   rounds/(n ln² n)=%.3f\n",
+		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
+}
+
+// runEvent executes trials on the event-driven runtime (-mode async
+// -sched event): per-node Poisson clocks at the -rates populations, time
+// measured in parallel-round units, plus the age-of-information profile
+// the tick scheduler cannot see (avg AoI is the time-averaged mean age
+// over the run, max AoI the final maximum age). A -rounds budget maps to
+// rounds × n events, matching the tick scheduler's rounds × n ticks.
+func runEvent(proc core.Process, fam gen.Family, n, trials int, seed uint64, budget int, spec string, backend graph.Backend) {
+	rates, err := eventsim.ParseRateSpec(spec, n)
+	if err != nil {
+		fatalf("-rates: %v", err)
+	}
+	root := rng.New(seed)
+	ratesLabel := spec
+	if ratesLabel == "" {
+		ratesLabel = "uniform 1"
+	}
+	tbl := trace.NewTable(
+		fmt.Sprintf("%s on %s, n=%d, mode=async/event, rates=%s", proc.Name(), fam.Name, n, ratesLabel),
+		"trial", "time", "events", "proposals", "new edges", "avg AoI", "max AoI")
+	var rounds []float64
+	stopped := 0
+	for t := 0; t < trials; t++ {
+		r := root.Split()
+		g := fam.Generate(n, r, backend)
+		cfg := eventsim.Config{Rates: rates}
+		if budget > 0 {
+			cfg.MaxEvents = budget * n
+		}
+		s := eventsim.New(g, proc, r, cfg)
+		res := s.Run()
+		if res.Stalled {
+			fatalf("trial %d stalled at time %.1f: every remaining rate is zero (see -rates)", t, res.Time)
+		}
+		if !res.Converged && budget == 0 {
+			fatalf("trial %d did not converge within %d events", t, res.Events)
+		}
+		if !res.Converged {
+			stopped++
+		}
+		rounds = append(rounds, res.ParallelRounds)
+		tbl.AddRow(trace.I(t), trace.F(res.Time, 1), trace.I(res.Events),
+			trace.I(res.Proposals), trace.I(res.NewEdges),
+			trace.F(s.TimeAvgMeanAge(), 2), trace.F(s.MaxAge(), 1))
+	}
+	if stopped > 0 {
+		fmt.Printf("note: %d/%d trials stopped at the -rounds event budget before converging\n", stopped, trials)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+	sum := stats.Summarize(rounds)
+	fn := float64(n)
+	fmt.Printf("\nparallel time: %s   time/(n ln n)=%.3f   time/(n ln² n)=%.3f\n",
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 

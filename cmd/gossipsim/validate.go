@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"gossipdisc/internal/eventsim"
 	"gossipdisc/internal/graph"
 )
 
@@ -29,6 +30,8 @@ type options struct {
 	dense    float64
 	scenario string
 	backend  string
+	sched    string
+	rates    string
 }
 
 // workerCount resolves the -workers flag: auto == true selects the
@@ -66,6 +69,22 @@ func (o *options) validate() error {
 	}
 	if o.process == "directed" && o.mode == "async" {
 		return fmt.Errorf("-mode async is only implemented for undirected processes")
+	}
+	switch o.sched {
+	case "", "tick", "event":
+	default:
+		return fmt.Errorf("unknown -sched %q (want tick or event)", o.sched)
+	}
+	if o.sched == "event" && o.mode != "async" {
+		return fmt.Errorf("-sched event requires -mode async: the event-driven runtime replaces the tick scheduler, not the round engines")
+	}
+	if o.rates != "" {
+		if o.sched != "event" {
+			return fmt.Errorf("-rates requires -sched event: only the event-driven runtime has per-node clocks")
+		}
+		if err := eventsim.ValidateRateSpec(o.rates); err != nil {
+			return fmt.Errorf("-rates: %w", err)
+		}
 	}
 	if o.n < 1 {
 		return fmt.Errorf("-n must be at least 1 (got %d)", o.n)

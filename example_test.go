@@ -167,3 +167,32 @@ func ExampleWithAutoWorkers() {
 	// matches fixed Workers=1: true
 	// schedule was autoscaling's to pick: true
 }
+
+// ExampleNewEventSession runs the event-driven runtime: continuous
+// per-node Poisson clocks instead of synchronous rounds, with a fast
+// quarter of the population activating at four times the base rate. Time
+// is measured in parallel-round units, and the session tracks each node's
+// age of information (time since it last learned a new peer) exactly at
+// event times. Runs are bit-replayable from (seed, rates).
+func ExampleNewEventSession() {
+	g := gossipdisc.Path(16)
+	rates := gossipdisc.NewRateMap(16, 1)
+	rates.DefineClass("fast", 4)
+	rates.AssignClass("fast", 0, 4)
+	sess := gossipdisc.NewEventSession(g,
+		gossipdisc.WithSeed(7),
+		gossipdisc.WithRates(rates),
+	)
+	res := sess.Run()
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("complete:", g.IsComplete())
+	fmt.Printf("time: %.1f\n", res.Time)
+	fmt.Printf("events: %d\n", res.Events)
+	fmt.Printf("time-avg mean age: %.2f\n", sess.TimeAvgMeanAge())
+	// Output:
+	// converged: true
+	// complete: true
+	// time: 32.4
+	// events: 980
+	// time-avg mean age: 2.98
+}

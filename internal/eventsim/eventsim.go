@@ -1,0 +1,513 @@
+// Package eventsim is the event-driven asynchronous runtime: a
+// priority-queue discrete-event simulator for the discovery processes in
+// which every node activates on its own Poisson clock with its own rate.
+//
+// The tick scheduler in internal/sim/async.go discretizes homogeneous
+// rate-1 Poisson clocks — one uniform node per tick, n ticks ≈ one parallel
+// round. That approximation cannot express the workloads the heterogeneous
+// gossip literature studies (fast/slow/mobile nodes, rate allocation under
+// a total budget, age-of-information staleness after Bastopcu et al., see
+// PAPERS.md): this package makes the schedule itself first-class. Pending
+// activations live in an indexed min-heap keyed by (time, node) —
+// continuous event times with the node id as the deterministic tie-break —
+// and each node's exponential inter-activation gaps — and its action
+// randomness — are drawn from the node's own split generator stream, so no
+// node ever consumes another node's draws and a run is a pure function of
+// (seed, rates): bit-replayable for any GOMAXPROCS setting and under -race.
+//
+// # Time, rounds, and the session contract
+//
+// Simulated time is continuous; one *parallel round* is one unit of
+// simulated time (a rate-1 node activates once per unit time in
+// expectation, so at uniform rates event-time convergence is directly
+// comparable to both the tick scheduler's ticks/n and the synchronous
+// engine's round count — experiment E15 pins the agreement). Session
+// mirrors the resumable-session contract of internal/sim: Step advances to
+// the next parallel-round boundary and hands back the round's
+// sim.RoundDelta, Run and RunUntil drive it, and Round/Time/Events/
+// EdgesRemaining/Stats read progress in O(1). Commit semantics are the
+// asynchronous ones: an activated node immediately observes every
+// previously accepted edge.
+//
+// # Age of information
+//
+// The session tracks, at exact event times, when each node last learned
+// something new (gained an edge endpoint): LastUpdate, MeanAge (O(1)),
+// MaxAge, and the time-averaged mean age TimeAvgMeanAge — the canonical
+// AoI objective. metrics.AoITrajectory layers mean/max age *trajectories*
+// on the per-round delta stream.
+package eventsim
+
+import (
+	"fmt"
+	"math"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+// Config controls an event-driven run or session.
+type Config struct {
+	// Rates assigns per-node activation rates (nil = Uniform(n), every node
+	// at rate 1). The session adopts the map: mutate it through
+	// Session.SetNodeRate / Session.SetClassRate so pending activations are
+	// rescheduled. Rates.N() must equal the graph's node count.
+	Rates *RateMap
+	// MaxEvents bounds the run, mirroring AsyncConfig.MaxTicks event for
+	// tick: 0 selects the default budget of n × sim.DefaultMaxRounds(n)
+	// events; any negative value means unbounded, which is meaningful only
+	// for stepped Sessions (the Run facade normalizes negatives back to the
+	// default budget); a positive budget that runs out stops the session at
+	// exactly MaxEvents events with BudgetExhausted == true.
+	MaxEvents int
+	// Done overrides the convergence predicate (default: complete graph).
+	// It must be a pure function of the graph: the runtime re-evaluates it
+	// only when the graph changed.
+	Done func(g *graph.Undirected) bool
+	// DeltaObserver, if non-nil, receives a streaming delta after every
+	// parallel-round boundary (unit simulated time) — including empty
+	// rounds in which no node activated, since time passing is itself
+	// signal for age metrics. A final partial round, if any, is emitted
+	// before the run finishes. The delta and its slices are reused; copy
+	// anything retained.
+	DeltaObserver func(g *graph.Undirected, d *sim.RoundDelta)
+}
+
+// Result reports an event-driven run.
+type Result struct {
+	// Events is the number of node activations executed.
+	Events int
+	// Time is the simulated time at which the run stopped. Termination
+	// mid-round reports the exact (fractional) event time.
+	Time float64
+	// ParallelRounds equals Time — one unit of simulated time is one
+	// parallel round — and exists for symmetry with AsyncResult, so the
+	// schedulers tabulate side by side.
+	ParallelRounds float64
+	// Converged reports whether the Done predicate was reached.
+	Converged bool
+	// BudgetExhausted reports that the run stopped because the MaxEvents
+	// budget ran out — distinct from Converged == false alone, which also
+	// covers stalled and merely-paused sessions (the budget contract shared
+	// with AsyncResult.BudgetExhausted).
+	BudgetExhausted bool
+	// Stalled reports that no node had a positive rate left to activate:
+	// the run can never progress again.
+	Stalled bool
+	// Proposals and NewEdges mirror sim.Result.
+	Proposals int
+	NewEdges  int
+}
+
+// Session is a resumable event-driven run: Step advances to the next
+// parallel-round boundary, Run drives to the Done predicate or the event
+// budget, and the rate-mutation methods retune clocks between steps.
+type Session struct {
+	g *graph.Undirected
+	p core.Process
+	r *rng.Rand
+
+	n         int
+	maxEvents int
+	done      func(*graph.Undirected) bool
+	rates     *RateMap
+
+	started  bool
+	finished bool
+
+	res    Result
+	now    float64
+	rounds int // completed parallel-round boundaries
+
+	// Per-node state: streams[u] drives both node u's clock gaps and its
+	// process randomness, so the activation sequence and every action are
+	// functions of (seed, rates) alone.
+	streams []*rng.Rand
+	heap    *pending
+
+	// Age-of-information state, maintained at exact event times.
+	lastUpdate  []float64
+	sumLast     float64 // Σ lastUpdate — MeanAge = now - sumLast/n
+	ageIntegral float64 // ∫ MeanAge dt over [0, now]
+
+	eventsInRound int // activations since the last emitted boundary
+	emits         int // deltas emitted (full + partial), Step's progress marker
+
+	accepted []graph.Edge
+	propose  func(a, b int)
+	ds       *deltaFiller
+
+	// hook, if non-nil, observes every activation as (node, time) — a
+	// package-private tap the determinism property tests record the
+	// activation sequence through.
+	hook func(u int, t float64)
+}
+
+// New constructs a resumable event-driven session over g. Nothing is
+// consumed from r until the first step; at that point r is split into one
+// stream per node (r itself is not used afterwards). It panics if
+// cfg.Rates covers a different node count than g.
+func New(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) *Session {
+	n := g.N()
+	rates := cfg.Rates
+	if rates == nil {
+		rates = Uniform(n)
+	}
+	if rates.N() != n {
+		panic(fmt.Sprintf("eventsim: RateMap covers %d nodes for a %d-node graph", rates.N(), n))
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = n * sim.DefaultMaxRounds(n)
+	} else if maxEvents < 0 {
+		maxEvents = math.MaxInt
+	}
+	done := cfg.Done
+	if done == nil {
+		done = (*graph.Undirected).IsComplete
+	}
+	s := &Session{
+		g:         g,
+		p:         p,
+		r:         r,
+		n:         n,
+		maxEvents: maxEvents,
+		done:      done,
+		rates:     rates,
+	}
+	if cfg.DeltaObserver != nil {
+		s.ds = newDeltaFiller(n, cfg.DeltaObserver)
+	}
+	return s
+}
+
+// start lazily initializes the run: the done-at-entry check, the per-node
+// streams, the initial clock draws, and the hoisted propose closure.
+func (s *Session) start() {
+	s.started = true
+	if s.done(s.g) {
+		s.res.Converged = true
+		s.finished = true
+		return
+	}
+	if s.n == 0 {
+		s.finished = true
+		return
+	}
+	s.streams = s.r.SplitN(s.n)
+	s.heap = newPending(s.n)
+	for u := 0; u < s.n; u++ {
+		if rate := s.rates.Rate(u); rate > 0 {
+			s.heap.push(int32(u), s.streams[u].Exp()/rate)
+		}
+	}
+	s.lastUpdate = make([]float64, s.n)
+	// The propose closure is hoisted so steady-state events allocate
+	// nothing. Commits are eager (asynchronous semantics), and every
+	// accepted edge stamps both endpoints' last-update times at the exact
+	// event time.
+	s.propose = func(a, b int) {
+		s.res.Proposals++
+		if s.g.AddEdge(a, b) {
+			s.res.NewEdges++
+			s.touch(a)
+			s.touch(b)
+			if s.ds != nil {
+				s.accepted = append(s.accepted, graph.Edge{U: a, V: b}.Norm())
+			}
+		}
+	}
+}
+
+// touch stamps node u's last-update time to the current event time.
+func (s *Session) touch(u int) {
+	s.sumLast += s.now - s.lastUpdate[u]
+	s.lastUpdate[u] = s.now
+}
+
+// advanceTo moves simulated time to t, accruing the mean-age integral over
+// [now, t] (sumLast is constant between touches, so the area is exact).
+func (s *Session) advanceTo(t float64) {
+	if t <= s.now {
+		return
+	}
+	s.ageIntegral += (t*t-s.now*s.now)/2 - (t-s.now)*s.sumLast/float64(s.n)
+	s.now = t
+}
+
+// emitRound emits the accumulated delta for the given parallel round.
+func (s *Session) emitRound(round int) {
+	s.emits++
+	if s.ds != nil {
+		s.ds.emit(round, s.g, s.accepted)
+	}
+	s.accepted = s.accepted[:0]
+	s.eventsInRound = 0
+}
+
+// flushPartial emits the final partial round, if any activity is pending.
+func (s *Session) flushPartial() {
+	if s.eventsInRound > 0 {
+		s.emitRound(s.rounds + 1)
+	}
+}
+
+// step advances to the next parallel-round boundary (or termination) and
+// reports whether the session can continue.
+func (s *Session) step() bool {
+	if s.finished {
+		return false
+	}
+	if !s.started {
+		s.start()
+		if s.finished {
+			return false
+		}
+	}
+	target := float64(s.rounds + 1)
+	for {
+		if s.heap.Len() == 0 {
+			// No node has a positive rate: the run can never progress.
+			s.finished = true
+			s.res.Stalled = true
+			s.flushPartial()
+			return false
+		}
+		u, t := s.heap.top()
+		if t > target {
+			break
+		}
+		if s.res.Events >= s.maxEvents {
+			s.finished = true
+			s.res.BudgetExhausted = true
+			s.flushPartial()
+			return false
+		}
+		s.advanceTo(t)
+		s.res.Events++
+		s.eventsInRound++
+		if s.hook != nil {
+			s.hook(int(u), t)
+		}
+		prevEdges := s.res.NewEdges
+		s.p.Act(s.g, int(u), s.streams[u], s.propose)
+		// The clock draw follows the action draw on the same per-node
+		// stream; the next gap depends only on u's stream and u's rate.
+		s.heap.replaceTop(t + s.streams[u].Exp()/s.rates.Rate(int(u)))
+		if s.res.NewEdges > prevEdges && s.done(s.g) {
+			s.res.Converged = true
+			s.finished = true
+			s.flushPartial()
+			return false
+		}
+	}
+	s.advanceTo(target)
+	s.rounds++
+	s.emitRound(s.rounds)
+	if s.res.Events >= s.maxEvents {
+		// The budget ran out exactly at the boundary: the round above is a
+		// complete one, but the session cannot continue.
+		s.finished = true
+		s.res.BudgetExhausted = true
+		return false
+	}
+	return true
+}
+
+// Step advances to the next parallel-round boundary — executing every
+// activation with time ≤ the boundary, possibly none — and returns the
+// round's delta plus whether the session can continue. Rounds with no
+// activations still advance time and emit an (empty) delta: ages grow in
+// silence. The final partial round at termination is returned with
+// ok == false; a Step after that returns (nil, false). The delta and its
+// slices are reused across rounds — copy anything retained.
+func (s *Session) Step() (d *sim.RoundDelta, ok bool) {
+	if s.ds == nil {
+		s.ds = newDeltaFiller(s.n, nil)
+	}
+	before := s.emits
+	ok = s.step()
+	if s.emits == before {
+		return nil, false
+	}
+	return &s.ds.d, ok
+}
+
+// Run drives the session to the Done predicate, a stall, or the event
+// budget, and returns the cumulative statistics.
+func (s *Session) Run() Result {
+	for s.step() {
+	}
+	return s.Stats()
+}
+
+// RunUntil steps (whole parallel rounds) until pred(g) holds, Done fires, or
+// the budget is exhausted. Like sim.Session.RunUntil, pred is a breakpoint,
+// not a terminal state.
+func (s *Session) RunUntil(pred func(g *graph.Undirected) bool) Result {
+	for !pred(s.g) && s.step() {
+	}
+	return s.Stats()
+}
+
+// Round returns the number of completed parallel-round boundaries. O(1).
+func (s *Session) Round() int { return s.rounds }
+
+// Time returns the current simulated time. O(1).
+func (s *Session) Time() float64 { return s.now }
+
+// Events returns the number of activations executed. O(1).
+func (s *Session) Events() int { return s.res.Events }
+
+// EdgesRemaining returns the number of node pairs still missing. O(1).
+func (s *Session) EdgesRemaining() int { return s.g.MissingEdges() }
+
+// Stats returns a snapshot of the cumulative run statistics. O(1).
+func (s *Session) Stats() Result {
+	res := s.res
+	res.Time = s.now
+	res.ParallelRounds = s.now
+	return res
+}
+
+// Converged reports whether the Done predicate has fired.
+func (s *Session) Converged() bool { return s.res.Converged }
+
+// Graph exposes the session's live graph (read-only use between steps).
+func (s *Session) Graph() *graph.Undirected { return s.g }
+
+// Rates exposes the session's rate map. Read freely; mutate only through
+// SetNodeRate / SetClassRate so pending activations are rescheduled.
+func (s *Session) Rates() *RateMap { return s.rates }
+
+// LastUpdate returns the simulated time node u last gained an edge (0 if
+// never). O(1).
+func (s *Session) LastUpdate(u int) float64 { return s.lastUpdate[u] }
+
+// MeanAge returns the mean age of information at the current time: the
+// average over nodes of now − LastUpdate(u). O(1).
+func (s *Session) MeanAge() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.now - s.sumLast/float64(s.n)
+}
+
+// MaxAge returns the maximum per-node age at the current time. O(n).
+func (s *Session) MaxAge() float64 {
+	if !s.started || s.n == 0 {
+		return 0
+	}
+	minLast := s.lastUpdate[0]
+	for _, t := range s.lastUpdate[1:] {
+		if t < minLast {
+			minLast = t
+		}
+	}
+	return s.now - minLast
+}
+
+// TimeAvgMeanAge returns the time average of MeanAge over [0, Time] — the
+// canonical age-of-information objective. O(1); 0 before any time passed.
+func (s *Session) TimeAvgMeanAge() float64 {
+	if s.now == 0 {
+		return 0
+	}
+	return s.ageIntegral / s.now
+}
+
+// SetNodeRate retunes node u's activation rate between steps (a per-node
+// override, detaching u from any class) and reschedules u's pending
+// activation: the exponential distribution is memoryless, so redrawing the
+// remaining gap at the new rate from u's own stream is both statistically
+// correct and deterministic. Rate 0 parks the node. A session that stalled
+// because every rate hit zero is reopened by giving any node a positive
+// rate again.
+func (s *Session) SetNodeRate(u int, rate float64) {
+	s.rates.SetNodeRate(u, rate)
+	s.reschedule(u)
+}
+
+// SetClassRate retunes a whole named class between steps, rescheduling
+// every member's pending activation (see SetNodeRate). O(n).
+func (s *Session) SetClassRate(name string, rate float64) {
+	for _, u := range s.rates.SetClassRate(name, rate) {
+		s.reschedule(u)
+	}
+}
+
+func (s *Session) reschedule(u int) {
+	if !s.started {
+		return // start() schedules from the map's then-current rates
+	}
+	rate := s.rates.Rate(u)
+	if rate <= 0 {
+		s.heap.remove(int32(u))
+		return
+	}
+	s.heap.update(int32(u), s.now+s.streams[u].Exp()/rate)
+	if s.finished && s.res.Stalled {
+		s.finished = false
+		s.res.Stalled = false
+	}
+}
+
+// Run executes p under the event-driven scheduler until convergence, a
+// stall, or budget exhaustion. It is a thin wrapper over a Session driven
+// to completion; as with sim.RunAsync, the facade folds a negative
+// MaxEvents back to the default budget (a fire-and-forget unbounded run of
+// a non-converging workload could never return).
+func Run(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) Result {
+	if cfg.MaxEvents < 0 {
+		cfg.MaxEvents = 0
+	}
+	return New(g, p, r, cfg).Run()
+}
+
+// deltaFiller owns the session's reusable sim.RoundDelta. It mirrors the
+// sim package's private delta state: the delta type is shared so every
+// delta consumer (metrics trajectories, AoI tracking) works unchanged on
+// either runtime.
+type deltaFiller struct {
+	d        sim.RoundDelta
+	observer func(g *graph.Undirected, d *sim.RoundDelta)
+}
+
+func newDeltaFiller(n int, observer func(g *graph.Undirected, d *sim.RoundDelta)) *deltaFiller {
+	return &deltaFiller{
+		d:        sim.RoundDelta{DegreeInc: make([]int32, n)},
+		observer: observer,
+	}
+}
+
+// emit fills the delta from the round's accepted edges and invokes the
+// observer, if any. Steady-state emits allocate nothing once the slices
+// are warm.
+func (df *deltaFiller) emit(round int, g *graph.Undirected, accepted []graph.Edge) {
+	d := &df.d
+	if d.MissingDegree == nil {
+		d.MissingDegree = g.MissingDegree
+	}
+	for _, u := range d.Touched {
+		d.DegreeInc[u] = 0
+	}
+	d.Touched = d.Touched[:0]
+	d.NewEdges = append(d.NewEdges[:0], accepted...)
+	for _, e := range accepted {
+		if d.DegreeInc[e.U] == 0 {
+			d.Touched = append(d.Touched, int32(e.U))
+		}
+		d.DegreeInc[e.U]++
+		if d.DegreeInc[e.V] == 0 {
+			d.Touched = append(d.Touched, int32(e.V))
+		}
+		d.DegreeInc[e.V]++
+	}
+	d.Round = round
+	d.EdgesRemaining = g.MissingEdges()
+	if df.observer != nil {
+		df.observer(g, d)
+	}
+}

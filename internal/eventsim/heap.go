@@ -1,0 +1,158 @@
+package eventsim
+
+// This file implements the pending-event min-heap: an indexed 4-ary heap
+// of per-node next-activation times ordered by (time, node). The node id is
+// the tie-break, so the pop order — and with it the whole activation
+// sequence — is a pure function of the scheduled times, never of insertion
+// order or memory layout. The index map (node → heap slot) is what makes
+// mid-run rate changes cheap: rescheduling a node is an O(log n) sift
+// instead of a scan.
+//
+// The hot path is the classic discrete-event-simulation optimization:
+// an activation pops the minimum and immediately schedules the same node's
+// next activation at a strictly later time, so the two heap operations fuse
+// into one replaceTop + siftDown — no append, no swap with the last slot.
+// Because a fresh exponential gap usually sinks the node far down again,
+// siftDown dominates; the 4-ary layout halves its depth versus binary and
+// the sifts move the displaced element through a hole (one write per level)
+// instead of swapping (six writes per level across the three arrays).
+
+const heapArity = 4
+
+// pending is an indexed min-heap of (time, node) activation events. Each
+// node has at most one pending activation; pos maps a node to its heap slot
+// (-1 when the node is unscheduled, i.e. its rate is zero).
+type pending struct {
+	t    []float64 // heap-ordered activation times
+	node []int32   // heap-ordered node ids, parallel to t
+	pos  []int32   // node -> heap slot, -1 if unscheduled
+}
+
+func newPending(n int) *pending {
+	p := &pending{
+		t:    make([]float64, 0, n),
+		node: make([]int32, 0, n),
+		pos:  make([]int32, n),
+	}
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+	return p
+}
+
+// Len returns the number of scheduled nodes.
+func (p *pending) Len() int { return len(p.t) }
+
+// before orders (t1, u1) before (t2, u2) by time, breaking ties by node id —
+// the determinism contract's total order on events.
+func before(t1 float64, u1 int32, t2 float64, u2 int32) bool {
+	return t1 < t2 || (t1 == t2 && u1 < u2)
+}
+
+func (p *pending) swap(i, j int) {
+	p.t[i], p.t[j] = p.t[j], p.t[i]
+	p.node[i], p.node[j] = p.node[j], p.node[i]
+	p.pos[p.node[i]] = int32(i)
+	p.pos[p.node[j]] = int32(j)
+}
+
+// siftUp floats the element at slot i toward the root, moving it through a
+// hole rather than swapping at each level.
+func (p *pending) siftUp(i int) {
+	mt, mu := p.t[i], p.node[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !before(mt, mu, p.t[parent], p.node[parent]) {
+			break
+		}
+		p.t[i], p.node[i] = p.t[parent], p.node[parent]
+		p.pos[p.node[i]] = int32(i)
+		i = parent
+	}
+	p.t[i], p.node[i] = mt, mu
+	p.pos[mu] = int32(i)
+}
+
+// siftDown sinks the element at slot i, moving it through a hole.
+func (p *pending) siftDown(i int) {
+	n := len(p.t)
+	mt, mu := p.t[i], p.node[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		c := first
+		ct, cu := p.t[c], p.node[c]
+		for j := first + 1; j < end; j++ {
+			if before(p.t[j], p.node[j], ct, cu) {
+				c, ct, cu = j, p.t[j], p.node[j]
+			}
+		}
+		if !before(ct, cu, mt, mu) {
+			break
+		}
+		p.t[i], p.node[i] = ct, cu
+		p.pos[cu] = int32(i)
+		i = c
+	}
+	p.t[i], p.node[i] = mt, mu
+	p.pos[mu] = int32(i)
+}
+
+// push schedules node u at time t. u must not already be scheduled.
+func (p *pending) push(u int32, t float64) {
+	i := len(p.t)
+	p.t = append(p.t, t)
+	p.node = append(p.node, u)
+	p.pos[u] = int32(i)
+	p.siftUp(i)
+}
+
+// top returns the earliest scheduled (node, time) without removing it.
+// The heap must be non-empty.
+func (p *pending) top() (u int32, t float64) { return p.node[0], p.t[0] }
+
+// replaceTop reschedules the top node at time t (its next activation) and
+// restores heap order — the fused pop+push of the activation hot path.
+// t must not precede the current top time.
+func (p *pending) replaceTop(t float64) {
+	p.t[0] = t
+	p.siftDown(0)
+}
+
+// remove unschedules node u (its rate dropped to zero). No-op if u is not
+// scheduled.
+func (p *pending) remove(u int32) {
+	i := int(p.pos[u])
+	if i < 0 {
+		return
+	}
+	last := len(p.t) - 1
+	p.swap(i, last)
+	p.t = p.t[:last]
+	p.node = p.node[:last]
+	p.pos[u] = -1
+	if i < last {
+		p.siftDown(i)
+		p.siftUp(i)
+	}
+}
+
+// update reschedules node u at time t, scheduling it if it was not (a rate
+// change from zero). The sift direction is decided by the heap, so t may be
+// earlier or later than u's previous activation.
+func (p *pending) update(u int32, t float64) {
+	i := int(p.pos[u])
+	if i < 0 {
+		p.push(u, t)
+		return
+	}
+	p.t[i] = t
+	p.siftDown(i)
+	p.siftUp(i)
+}

@@ -1,0 +1,190 @@
+package eventsim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gossipdisc/internal/rng"
+)
+
+// oracleEvent mirrors one heap entry in the sorted-slice oracle.
+type oracleEvent struct {
+	t float64
+	u int32
+}
+
+// oracle is the obviously-correct reference the fuzzer and property tests
+// compare the indexed heap against: a sorted slice re-sorted after every
+// mutation, ordered by (time, node).
+type oracle struct {
+	events []oracleEvent
+}
+
+func (o *oracle) sortAll() {
+	sort.Slice(o.events, func(i, j int) bool {
+		a, b := o.events[i], o.events[j]
+		return a.t < b.t || (a.t == b.t && a.u < b.u)
+	})
+}
+
+func (o *oracle) push(u int32, t float64) {
+	o.events = append(o.events, oracleEvent{t, u})
+	o.sortAll()
+}
+
+func (o *oracle) top() (int32, float64) { return o.events[0].u, o.events[0].t }
+
+func (o *oracle) replaceTop(t float64) {
+	o.events[0].t = t
+	o.sortAll()
+}
+
+func (o *oracle) remove(u int32) {
+	for i, e := range o.events {
+		if e.u == u {
+			o.events = append(o.events[:i], o.events[i+1:]...)
+			return
+		}
+	}
+}
+
+func (o *oracle) update(u int32, t float64) {
+	o.remove(u)
+	o.push(u, t)
+}
+
+func (o *oracle) scheduled(u int32) bool {
+	for _, e := range o.events {
+		if e.u == u {
+			return true
+		}
+	}
+	return false
+}
+
+// drainCheck pops both structures empty and fails on the first divergence.
+func drainCheck(t *testing.T, p *pending, o *oracle) {
+	t.Helper()
+	for len(o.events) > 0 {
+		if p.Len() == 0 {
+			t.Fatalf("heap empty with %d oracle events left", len(o.events))
+		}
+		hu, ht := p.top()
+		ou, ot := o.top()
+		if hu != ou || ht != ot {
+			t.Fatalf("pop order diverged: heap (%d, %v) vs oracle (%d, %v)", hu, ht, ou, ot)
+		}
+		p.remove(hu)
+		o.remove(ou)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("oracle empty with %d heap events left", p.Len())
+	}
+}
+
+func TestPendingTieBreak(t *testing.T) {
+	// Equal times must pop in node order regardless of insertion order.
+	p := newPending(5)
+	o := &oracle{}
+	for _, u := range []int32{3, 0, 4, 1, 2} {
+		p.push(u, 1.0)
+		o.push(u, 1.0)
+	}
+	for want := int32(0); want < 5; want++ {
+		u, tt := p.top()
+		if u != want || tt != 1.0 {
+			t.Fatalf("tie-break pop %d: got node %d at %v, want node %d at 1", want, u, tt, want)
+		}
+		p.remove(u)
+	}
+}
+
+func TestPendingReplaceTopIsPopPush(t *testing.T) {
+	p := newPending(8)
+	o := &oracle{}
+	r := rng.New(7)
+	for u := int32(0); u < 8; u++ {
+		tt := r.Float64()
+		p.push(u, tt)
+		o.push(u, tt)
+	}
+	for i := 0; i < 200; i++ {
+		_, tt := p.top()
+		next := tt + r.Exp()
+		p.replaceTop(next)
+		o.replaceTop(next)
+		hu, ht := p.top()
+		ou, ot := o.top()
+		if hu != ou || ht != ot {
+			t.Fatalf("step %d: heap top (%d, %v) vs oracle (%d, %v)", i, hu, ht, ou, ot)
+		}
+	}
+	drainCheck(t, p, o)
+}
+
+// FuzzEventHeap drives the indexed heap and the sorted-slice oracle through
+// the same operation sequence — pushes, activation pops (replaceTop),
+// rate-change reschedules (update), and rate-to-zero removals — and
+// requires identical tops throughout and an identical drain order at the
+// end. This is the heap-side half of the determinism contract: (time, node)
+// is a total order, and every mutation preserves it.
+func FuzzEventHeap(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3})
+	f.Add(uint64(2), []byte{10, 200, 30, 40, 50, 60})
+	f.Add(uint64(42), []byte{255, 0, 255, 0, 128, 7, 9, 11, 13})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		const n = 16
+		r := rng.New(seed)
+		p := newPending(n)
+		o := &oracle{}
+		now := 0.0
+		for _, op := range ops {
+			u := int32(op) % n
+			switch op % 4 {
+			case 0: // schedule u if unscheduled
+				if p.pos[u] < 0 {
+					tt := now + r.Exp()
+					p.push(u, tt)
+					o.push(u, tt)
+				}
+			case 1: // activation: pop min, schedule its next firing
+				if p.Len() > 0 {
+					hu, ht := p.top()
+					ou, ot := o.top()
+					if hu != ou || ht != ot {
+						t.Fatalf("top diverged: heap (%d, %v) vs oracle (%d, %v)", hu, ht, ou, ot)
+					}
+					now = ht
+					next := now + r.Exp()
+					p.replaceTop(next)
+					o.replaceTop(next)
+				}
+			case 2: // rate change mid-run: reschedule u from now
+				tt := now + r.Exp()
+				p.update(u, tt)
+				o.update(u, tt)
+			case 3: // rate dropped to zero: unschedule u
+				p.remove(u)
+				o.remove(u)
+			}
+			if p.Len() != len(o.events) {
+				t.Fatalf("size diverged: heap %d vs oracle %d", p.Len(), len(o.events))
+			}
+			if (p.pos[u] >= 0) != o.scheduled(u) {
+				t.Fatalf("scheduled(%d) diverged: heap %v vs oracle %v", u, p.pos[u] >= 0, o.scheduled(u))
+			}
+			if p.Len() > 0 {
+				hu, ht := p.top()
+				ou, ot := o.top()
+				if hu != ou || ht != ot {
+					t.Fatalf("top diverged after op %d: heap (%d, %v) vs oracle (%d, %v)", op, hu, ht, ou, ot)
+				}
+				if math.IsNaN(ht) {
+					t.Fatalf("NaN time reached the heap")
+				}
+			}
+		}
+		drainCheck(t, p, o)
+	})
+}

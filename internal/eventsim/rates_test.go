@@ -1,0 +1,157 @@
+package eventsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRateMapOps(t *testing.T) {
+	m := NewRateMap(10, 0.5)
+	if m.N() != 10 || m.Rate(3) != 0.5 || m.TotalRate() != 5 {
+		t.Fatalf("fresh map: n=%d rate(3)=%v total=%v", m.N(), m.Rate(3), m.TotalRate())
+	}
+
+	m.DefineClass("fast", 4)
+	m.AssignClass("fast", 0, 4)
+	if m.Rate(0) != 4 || m.Rate(3) != 4 || m.Rate(4) != 0.5 {
+		t.Fatalf("after AssignClass: %v %v %v", m.Rate(0), m.Rate(3), m.Rate(4))
+	}
+	if m.ClassRate("fast") != 4 {
+		t.Fatalf("ClassRate = %v", m.ClassRate("fast"))
+	}
+
+	// A per-node override detaches the node from its class...
+	m.SetNodeRate(2, 9)
+	if m.Rate(2) != 9 {
+		t.Fatalf("override: %v", m.Rate(2))
+	}
+	// ...so retuning the class changes exactly the remaining members.
+	members := m.SetClassRate("fast", 8)
+	if len(members) != 3 {
+		t.Fatalf("SetClassRate members = %v, want the 3 non-overridden fast nodes", members)
+	}
+	for _, u := range members {
+		if u == 2 || m.Rate(u) != 8 {
+			t.Fatalf("member %d at rate %v after SetClassRate", u, m.Rate(u))
+		}
+	}
+	if m.Rate(2) != 9 {
+		t.Fatalf("override lost on SetClassRate: %v", m.Rate(2))
+	}
+
+	if got := m.Classes(); len(got) != 1 || got[0] != "fast" {
+		t.Fatalf("Classes = %v", got)
+	}
+}
+
+func TestRateMapPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative n", func() { NewRateMap(-1, 1) })
+	mustPanic("negative default rate", func() { NewRateMap(4, -1) })
+	m := NewRateMap(4, 1)
+	m.DefineClass("a", 2)
+	mustPanic("duplicate class", func() { m.DefineClass("a", 3) })
+	mustPanic("empty class name", func() { m.DefineClass("", 1) })
+	mustPanic("unknown class assign", func() { m.AssignClass("nope", 0, 2) })
+	mustPanic("out-of-range assign", func() { m.AssignClass("a", 2, 5) })
+	mustPanic("unknown class rate", func() { m.ClassRate("nope") })
+	mustPanic("unknown class retune", func() { m.SetClassRate("nope", 1) })
+	mustPanic("negative node rate", func() { m.SetNodeRate(0, -2) })
+}
+
+func TestParseRateSpec(t *testing.T) {
+	type check func(t *testing.T, m *RateMap)
+	rates := func(want ...float64) check {
+		return func(t *testing.T, m *RateMap) {
+			t.Helper()
+			for u, w := range want {
+				if m.Rate(u) != w {
+					t.Fatalf("node %d at rate %v, want %v (map %v)", u, m.Rate(u), w, want)
+				}
+			}
+		}
+	}
+	cases := []struct {
+		name  string
+		spec  string
+		n     int
+		check check
+	}{
+		{"empty means uniform 1", "", 4, rates(1, 1, 1, 1)},
+		{"bare default", "2.5", 3, rates(2.5, 2.5, 2.5)},
+		{"one class", "fast=8:0-1", 4, rates(8, 8, 1, 1)},
+		{"single-node range", "hub=4:2", 4, rates(1, 1, 4, 1)},
+		{"default plus classes", "0.5,fast=8:0-1,park=0:3", 5, rates(8, 8, 0.5, 0, 0.5)},
+		{"later assignment wins", "a=2:0-3,b=5:2-3", 4, rates(2, 2, 5, 5)},
+		{"whitespace tolerated", " 2 , fast = 4 : 0 - 1 ", 3, rates(4, 4, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateRateSpec(tc.spec); err != nil {
+				t.Fatalf("ValidateRateSpec(%q) = %v", tc.spec, err)
+			}
+			m, err := ParseRateSpec(tc.spec, tc.n)
+			if err != nil {
+				t.Fatalf("ParseRateSpec(%q, %d) = %v", tc.spec, tc.n, err)
+			}
+			if m.N() != tc.n {
+				t.Fatalf("map covers %d nodes, want %d", m.N(), tc.n)
+			}
+			tc.check(t, m)
+		})
+	}
+}
+
+func TestParseRateSpecErrors(t *testing.T) {
+	syntax := []struct {
+		name, spec, wantSub string
+	}{
+		{"empty segment", "1,,fast=2:0-1", "empty segment"},
+		{"garbage", "fast", "neither a default rate"},
+		{"two defaults", "1,2", "more than one default"},
+		{"negative rate", "-1", "rate -1"},
+		{"nan-ish rate", "fast=x:0-1", "malformed rate"},
+		{"missing range", "fast=2", "missing its :lo-hi"},
+		{"empty name", "=2:0-1", "empty class name"},
+		{"bad range", "fast=2:b-c", "malformed node range"},
+		{"inverted range", "fast=2:5-3", "invalid node range"},
+		{"negative lo", "fast=2:-1-3", "malformed node range"},
+	}
+	for _, tc := range syntax {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateRateSpec(tc.spec); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ValidateRateSpec(%q) = %v, want error containing %q", tc.spec, err, tc.wantSub)
+			}
+			if _, err := ParseRateSpec(tc.spec, 8); err == nil {
+				t.Fatalf("ParseRateSpec(%q) accepted a syntactically invalid spec", tc.spec)
+			}
+		})
+	}
+
+	// Resolution errors need n, so only ParseRateSpec rejects them.
+	resolution := []struct {
+		name, spec, wantSub string
+		n                   int
+	}{
+		{"range past n", "fast=2:0-8", "outside the 8-node population", 8},
+		{"duplicate class", "a=2:0-1,a=2:2-3", "defined twice", 8},
+	}
+	for _, tc := range resolution {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateRateSpec(tc.spec); err != nil {
+				t.Fatalf("ValidateRateSpec(%q) = %v, want nil (resolution errors need n)", tc.spec, err)
+			}
+			if _, err := ParseRateSpec(tc.spec, tc.n); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParseRateSpec(%q, %d) = %v, want error containing %q", tc.spec, tc.n, err, tc.wantSub)
+			}
+		})
+	}
+}

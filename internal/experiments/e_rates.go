@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/eventsim"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/metrics"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stats"
+	"gossipdisc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E20",
+		Title: "Heterogeneous activation rates: skew vs dissemination time and AoI",
+		Paper: "Event-driven runtime; AoI after Bastopcu et al. (PAPERS.md)",
+		Run:   runRateSkew,
+	})
+}
+
+// runRateSkew implements E20 on the event-driven runtime: a fixed
+// activation budget (total rate n, matching the uniform-rate baseline) is
+// skewed toward a fast eighth of the population — nFast = n/8 nodes at
+// rate R, the rest at the rate that keeps the total budget constant. The
+// question is what skew buys and what it costs: dissemination time in
+// parallel time units, events to convergence, and the age-of-information
+// profile (time-averaged mean age from the session's exact event-time
+// integral, peak max age from the per-round AoI trajectory). R = 1 is the
+// uniform baseline; at the ladder's top the slow supermajority activates
+// rarely and ages between updates, so peak max age is where the skew's
+// price concentrates.
+//
+// With cfg.RateSpec set, a second table runs the custom population
+// (eventsim rate-spec grammar), resolved against the sweep's largest size.
+func runRateSkew(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ns := cfg.sizes(64, 128, 256)
+	trials := cfg.trials(8)
+	skews := []float64{1, 2, 4, 6}
+
+	tbl := trace.NewTable(
+		fmt.Sprintf("E20: push on the n-cycle, fast eighth at rate R, fixed total rate n (%d trials)", trials),
+		"n", "R", "slow", "time", "events/n", "avg AoI", "peak max AoI")
+	for ni, n := range ns {
+		nFast := n / 8
+		for ri, R := range skews {
+			slow := (float64(n) - float64(nFast)*R) / float64(n-nFast)
+			build := func() *eventsim.RateMap {
+				m := eventsim.NewRateMap(n, slow)
+				m.DefineClass("fast", R)
+				m.AssignClass("fast", 0, nFast)
+				return m
+			}
+			seed := pointSeed(cfg.Seed, uint64(ni), uint64(ri), hashName("e20"))
+			agg, err := eventTrials(trials, seed, n, cfg.Backend, build)
+			if err != nil {
+				return fmt.Errorf("E20 n=%d R=%v: %w", n, R, err)
+			}
+			tbl.AddRow(trace.I(n), trace.F(R, 0), trace.F(slow, 3),
+				trace.F(agg.time.Mean, 1),
+				trace.F(agg.eventsPerN.Mean, 1),
+				trace.F(agg.avgAoI.Mean, 2),
+				trace.F(agg.peakMaxAoI.Mean, 1))
+		}
+	}
+	if err := render(cfg, w, tbl); err != nil {
+		return err
+	}
+
+	if cfg.RateSpec == "" {
+		return nil
+	}
+	n := ns[len(ns)-1]
+	if _, err := eventsim.ParseRateSpec(cfg.RateSpec, n); err != nil {
+		return fmt.Errorf("E20 custom population (resolved at n=%d): %w", n, err)
+	}
+	custom := trace.NewTable(
+		fmt.Sprintf("E20: custom population %q at n=%d (%d trials)", cfg.RateSpec, n, trials),
+		"n", "time", "events/n", "avg AoI", "peak max AoI")
+	seed := pointSeed(cfg.Seed, uint64(n), hashName("e20-custom"))
+	agg, err := eventTrials(trials, seed, n, cfg.Backend, func() *eventsim.RateMap {
+		m, err := eventsim.ParseRateSpec(cfg.RateSpec, n)
+		if err != nil {
+			panic(err) // validated above
+		}
+		return m
+	})
+	if err != nil {
+		return fmt.Errorf("E20 custom population: %w", err)
+	}
+	custom.AddRow(trace.I(n),
+		trace.F(agg.time.Mean, 1),
+		trace.F(agg.eventsPerN.Mean, 1),
+		trace.F(agg.avgAoI.Mean, 2),
+		trace.F(agg.peakMaxAoI.Mean, 1))
+	return render(cfg, w, custom)
+}
+
+// eventAgg aggregates one sweep point's event-runtime trials.
+type eventAgg struct {
+	time, eventsPerN, avgAoI, peakMaxAoI stats.Summary
+}
+
+// eventTrials runs `trials` independent event-runtime pushes on the
+// n-cycle under rate maps built fresh per trial (the map is mutable state).
+// Each trial records convergence time, events per node, the time-averaged
+// mean AoI, and the trajectory peak of the max AoI.
+func eventTrials(trials int, seed uint64, n int, backend graph.Backend, build func() *eventsim.RateMap) (eventAgg, error) {
+	root := rng.New(seed)
+	var times, events, avgs, peaks []float64
+	for t := 0; t < trials; t++ {
+		r := root.Split()
+		g := gen.Cycle(n, backend)
+		aoi := &metrics.AoITrajectory{}
+		s := eventsim.New(g, core.Push{}, r, eventsim.Config{
+			Rates: build(),
+			DeltaObserver: func(g *graph.Undirected, d *sim.RoundDelta) {
+				aoi.ObserveDelta(g, d)
+			},
+		})
+		res := s.Run()
+		if !res.Converged {
+			return eventAgg{}, fmt.Errorf("trial %d did not converge (%+v)", t, res)
+		}
+		peak := 0.0
+		for _, m := range aoi.MaxAges() {
+			if m > peak {
+				peak = m
+			}
+		}
+		times = append(times, res.Time)
+		events = append(events, float64(res.Events)/float64(n))
+		avgs = append(avgs, s.TimeAvgMeanAge())
+		peaks = append(peaks, peak)
+	}
+	return eventAgg{
+		time:       stats.Summarize(times),
+		eventsPerN: stats.Summarize(events),
+		avgAoI:     stats.Summarize(avgs),
+		peakMaxAoI: stats.Summarize(peaks),
+	}, nil
+}

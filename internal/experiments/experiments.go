@@ -42,6 +42,28 @@ type Config struct {
 	// workload is generated on (graph.BackendDense, the zero value, by
 	// default). Outputs are byte-identical for every backend.
 	Backend graph.Backend
+	// Sched selects which asynchronous runtimes the scheduler-sensitive
+	// experiments (E15) tabulate: "" or "both" runs the tick scheduler and
+	// the event-driven runtime side by side, "tick" or "event" runs just
+	// one. Callers validate the value (cmd layer); experiments treat any
+	// other string as "both".
+	Sched string
+	// RateSpec, when non-empty, is an eventsim rate spec (see
+	// eventsim.ParseRateSpec) adding a custom-population table to E20,
+	// resolved against the sweep's largest problem size.
+	RateSpec string
+}
+
+// scheds resolves Config.Sched into per-runtime switches.
+func (c Config) scheds() (tick, event bool) {
+	switch c.Sched {
+	case "tick":
+		return true, false
+	case "event":
+		return false, true
+	default:
+		return true, true
+	}
 }
 
 // engine returns the sim.Config every undirected sweep point shares.

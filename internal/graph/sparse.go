@@ -63,10 +63,20 @@ func newSparseRows(n int) *sparseRows {
 func (s *sparseRows) backend() Backend { return BackendSparse }
 
 // find returns the position of v in the sorted entries of r, or the
-// insertion point if absent (second result false).
+// insertion point if absent (second result false). The binary search is
+// hand-rolled: it sits on the AddEdge/HasEdge hot path of every simulation
+// loop, where sort.Search's per-probe closure call is measurable.
 func (r *sparseRow) find(v int) (int, bool) {
-	i := sort.Search(len(r.sorted), func(i int) bool { return int(r.sorted[i]) >= v })
-	return i, i < len(r.sorted) && int(r.sorted[i]) == v
+	lo, hi := 0, len(r.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(r.sorted[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(r.sorted) && int(r.sorted[lo]) == v
 }
 
 func (s *sparseRows) test(u, v int) bool {

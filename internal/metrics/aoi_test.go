@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+// fakeDelta builds a minimal RoundDelta for direct ObserveDelta tests.
+func fakeDelta(round int, remaining int, touched ...int32) *sim.RoundDelta {
+	return &sim.RoundDelta{Round: round, EdgesRemaining: remaining, Touched: touched}
+}
+
+func TestAoITrajectoryHandComputed(t *testing.T) {
+	g := gen.Path(4) // only N() matters to the trajectory
+	a := &AoITrajectory{}
+
+	// Round 1: nodes 0 and 1 updated. last = [1, 1, 0, 0].
+	a.ObserveDelta(g, fakeDelta(1, 5, 0, 1))
+	// Round 2: nothing. Ages grow in silence.
+	a.ObserveDelta(g, fakeDelta(2, 5))
+	// Round 3: node 0 again, node 2 first time. last = [3, 1, 3, 0].
+	a.ObserveDelta(g, fakeDelta(3, 5, 0, 2))
+
+	want := []AoISample{
+		{Round: 1, MeanAge: 1 - 2.0/4, MaxAge: 1}, // node 3 never updated
+		{Round: 2, MeanAge: 2 - 2.0/4, MaxAge: 2}, // silence: +1 across the board
+		{Round: 3, MeanAge: 3 - 7.0/4, MaxAge: 3}, // node 3 still at 0
+	}
+	if len(a.Samples) != len(want) {
+		t.Fatalf("recorded %d samples, want %d", len(a.Samples), len(want))
+	}
+	for i, w := range want {
+		got := a.Samples[i]
+		if got.Round != w.Round || math.Abs(got.MeanAge-w.MeanAge) > 1e-12 || math.Abs(got.MaxAge-w.MaxAge) > 1e-12 {
+			t.Fatalf("sample %d = %+v, want %+v", i, got, w)
+		}
+	}
+
+	// Round 4: node 3's first update makes the lazy heap authoritative:
+	// last = [3, 1, 3, 4], min is node 1 at time 1.
+	a.ObserveDelta(g, fakeDelta(4, 5, 3))
+	s := a.Samples[len(a.Samples)-1]
+	if s.MaxAge != 3 {
+		t.Fatalf("round 4 max age = %v, want 3 (node 1, last updated at 1)", s.MaxAge)
+	}
+	if got := a.Age(1); got != 3 {
+		t.Fatalf("Age(1) = %v, want 3", got)
+	}
+	if got := a.Age(3); got != 0 {
+		t.Fatalf("Age(3) = %v, want 0 (just updated)", got)
+	}
+}
+
+func TestAoITrajectorySubsampling(t *testing.T) {
+	g := gen.Path(3)
+	a := &AoITrajectory{Every: 4}
+	for round := 1; round <= 10; round++ {
+		a.ObserveDelta(g, fakeDelta(round, 1, int32(round%3)))
+	}
+	// Rounds 4 and 8 recorded; Finalize appends the pending round 10.
+	a.Finalize()
+	var rounds []int
+	for _, s := range a.Samples {
+		rounds = append(rounds, s.Round)
+	}
+	if len(rounds) != 3 || rounds[0] != 4 || rounds[1] != 8 || rounds[2] != 10 {
+		t.Fatalf("subsampled rounds = %v, want [4 8 10]", rounds)
+	}
+	a.Finalize() // idempotent
+	if len(a.Samples) != 3 {
+		t.Fatalf("Finalize is not idempotent: %d samples", len(a.Samples))
+	}
+	// The terminal round (EdgesRemaining == 0) is always recorded.
+	a.ObserveDelta(g, fakeDelta(11, 0, 1))
+	if last := a.Samples[len(a.Samples)-1]; last.Round != 11 {
+		t.Fatalf("terminal round not recorded: %+v", last)
+	}
+}
+
+// TestAoITrajectoryMatchesBruteForce replays a real tick run and checks the
+// incremental mean/max against a brute-force recompute every round.
+func TestAoITrajectoryMatchesBruteForce(t *testing.T) {
+	const n = 40
+	g := gen.Cycle(n)
+	a := &AoITrajectory{}
+	last := make([]float64, n)
+	s := sim.NewAsyncSession(g, core.Push{}, rng.New(3), sim.AsyncConfig{})
+	for {
+		d, ok := s.Step()
+		if d == nil {
+			break
+		}
+		a.ObserveDelta(g, d)
+		now := float64(d.Round)
+		for _, u := range d.Touched {
+			last[u] = now
+		}
+		sum, min := 0.0, math.Inf(1)
+		for _, l := range last {
+			sum += l
+			if l < min {
+				min = l
+			}
+		}
+		got := a.Samples[len(a.Samples)-1]
+		if math.Abs(got.MeanAge-(now-sum/n)) > 1e-9 || math.Abs(got.MaxAge-(now-min)) > 1e-9 {
+			t.Fatalf("round %d: incremental (%v, %v) vs brute force (%v, %v)",
+				d.Round, got.MeanAge, got.MaxAge, now-sum/n, now-min)
+		}
+		if !ok {
+			break
+		}
+	}
+	if !s.Converged() {
+		t.Fatal("run did not converge")
+	}
+	means, maxes := a.MeanAges(), a.MaxAges()
+	if len(means) != len(a.Samples) || len(maxes) != len(a.Samples) {
+		t.Fatalf("series lengths %d/%d vs %d samples", len(means), len(maxes), len(a.Samples))
+	}
+}
+
+func TestAoITrajectoryEmptyGraph(t *testing.T) {
+	g := graph.NewUndirected(0)
+	a := &AoITrajectory{}
+	a.ObserveDelta(g, fakeDelta(1, 0))
+	if s := a.Samples[0]; s.MeanAge != 0 || s.MaxAge != 0 {
+		t.Fatalf("n=0 sample: %+v", s)
+	}
+}

@@ -10,7 +10,10 @@
 // regardless of goroutine scheduling.
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Rand is a deterministic xoshiro256** pseudo-random generator.
 // The zero value is not usable; construct with New or Split.
@@ -168,6 +171,15 @@ func Pick[T any](r *Rand, s []T) T {
 // coincide (in which case no edge is formed).
 func (r *Rand) Sample2(n int) (int, int) {
 	return r.Intn(n), r.Intn(n)
+}
+
+// Exp returns a standard exponential variate (rate 1, mean 1) by inverse
+// CDF: -ln(1-U) with U uniform in [0, 1). Divide by a rate λ to draw an
+// Exp(λ) inter-arrival gap. The event-driven simulator draws every per-node
+// clock gap through this method on the node's own split stream, which is
+// what makes heterogeneous-rate schedules bit-replayable from (seed, rates).
+func (r *Rand) Exp() float64 {
+	return -math.Log(1 - r.Float64())
 }
 
 // Geometric returns the number of Bernoulli(p) failures before the first

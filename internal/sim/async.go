@@ -30,6 +30,13 @@ type AsyncResult struct {
 	ParallelRounds float64
 	// Converged reports whether the Done predicate was reached.
 	Converged bool
+	// BudgetExhausted reports that the run stopped because the MaxTicks
+	// budget ran out. It is the explicit budget-stop signal — previously
+	// only inferable from Converged == false, which also covers sessions
+	// merely paused between steps (the same contract as
+	// eventsim.Result.BudgetExhausted; TestAsyncMaxTicksBudgetContract
+	// pins it on this runtime, TestEventBudgetContract on the other).
+	BudgetExhausted bool
 	// Proposals and NewEdges mirror Result.
 	Proposals int
 	NewEdges  int
@@ -163,7 +170,13 @@ func (s *AsyncSession) step() bool {
 				s.finished = true
 			}
 			s.res.ParallelRounds = float64(s.res.Ticks) / float64(s.n)
-			return !s.finished && s.res.Ticks < s.maxTicks
+			if !s.finished && s.res.Ticks >= s.maxTicks {
+				// The budget ran out exactly at the boundary: the round is
+				// complete, but the session cannot continue.
+				s.finished = true
+				s.res.BudgetExhausted = true
+			}
+			return !s.finished
 		}
 		if s.done(s.g) {
 			// Terminated mid-round: emit the final partial round.
@@ -176,6 +189,7 @@ func (s *AsyncSession) step() bool {
 	}
 	// Tick budget exhausted mid-round.
 	s.finished = true
+	s.res.BudgetExhausted = true
 	if len(s.accepted) > 0 || s.res.Ticks%s.n != 0 {
 		s.emitRound(s.rounds + 1)
 	}

@@ -55,7 +55,9 @@ func TestRunAsyncCustomDone(t *testing.T) {
 // round: 0 selects the default budget (n × DefaultMaxRounds(n)), any
 // negative value means unbounded for a stepped session while the RunAsync
 // facade folds it back to the default, and a positive budget that runs out
-// stops the run at exactly MaxTicks with Converged == false.
+// stops the run at exactly MaxTicks with the explicit BudgetExhausted flag
+// raised (and Converged == false). TestEventBudgetContract pins the same
+// contract on the event runtime's Config.MaxEvents.
 func TestAsyncMaxTicksBudgetContract(t *testing.T) {
 	const n = 4
 	defaultBudget := n * DefaultMaxRounds(n)
@@ -63,9 +65,9 @@ func TestAsyncMaxTicksBudgetContract(t *testing.T) {
 
 	t.Run("zero selects the default budget", func(t *testing.T) {
 		res := RunAsync(gen.Complete(n), core.Push{}, rng.New(1), AsyncConfig{Done: never})
-		if res.Converged || res.Ticks != defaultBudget {
-			t.Fatalf("got %d ticks (converged=%v), want the default budget %d",
-				res.Ticks, res.Converged, defaultBudget)
+		if res.Converged || res.Ticks != defaultBudget || !res.BudgetExhausted {
+			t.Fatalf("got %d ticks (converged=%v exhausted=%v), want the default budget %d exhausted",
+				res.Ticks, res.Converged, res.BudgetExhausted, defaultBudget)
 		}
 	})
 
@@ -87,15 +89,18 @@ func TestAsyncMaxTicksBudgetContract(t *testing.T) {
 				t.Fatalf("MaxTicks=%d: %d ticks (converged=%v), want convergence beyond %d",
 					maxTicks, res.Ticks, res.Converged, defaultBudget)
 			}
+			if res.BudgetExhausted {
+				t.Fatalf("MaxTicks=%d: unbounded session reported BudgetExhausted", maxTicks)
+			}
 		}
 	})
 
 	t.Run("facade folds negatives to the default budget", func(t *testing.T) {
 		res := RunAsync(gen.Complete(n), core.Push{}, rng.New(1),
 			AsyncConfig{MaxTicks: -5, Done: never})
-		if res.Converged || res.Ticks != defaultBudget {
-			t.Fatalf("got %d ticks (converged=%v), want the default budget %d",
-				res.Ticks, res.Converged, defaultBudget)
+		if res.Converged || res.Ticks != defaultBudget || !res.BudgetExhausted {
+			t.Fatalf("got %d ticks (converged=%v exhausted=%v), want the default budget %d exhausted",
+				res.Ticks, res.Converged, res.BudgetExhausted, defaultBudget)
 		}
 	})
 
@@ -103,14 +108,22 @@ func TestAsyncMaxTicksBudgetContract(t *testing.T) {
 		s := NewAsyncSession(gen.Complete(n), core.Push{}, rng.New(1),
 			AsyncConfig{MaxTicks: 37, Done: never})
 		res := s.Run()
-		if res.Converged || res.Ticks != 37 {
-			t.Fatalf("got %d ticks (converged=%v), want exactly 37", res.Ticks, res.Converged)
+		if res.Converged || res.Ticks != 37 || !res.BudgetExhausted {
+			t.Fatalf("got %d ticks (converged=%v exhausted=%v), want exactly 37 exhausted",
+				res.Ticks, res.Converged, res.BudgetExhausted)
 		}
 		if got := res.ParallelRounds; got != 37.0/n {
 			t.Fatalf("ParallelRounds %v, want %v", got, 37.0/n)
 		}
 		if d, ok := s.Step(); d != nil || ok {
 			t.Fatalf("Step after exhaustion returned (%v, %v), want (nil, false)", d, ok)
+		}
+	})
+
+	t.Run("convergence wins over exhaustion", func(t *testing.T) {
+		res := RunAsync(gen.Path(8), core.Push{}, rng.New(1), AsyncConfig{})
+		if !res.Converged || res.BudgetExhausted {
+			t.Fatalf("converged run: %+v", res)
 		}
 	})
 }

@@ -24,6 +24,7 @@ package gossipdisc
 
 import (
 	"gossipdisc/internal/core"
+	"gossipdisc/internal/eventsim"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
 )
@@ -42,7 +43,36 @@ type (
 	// AsyncSession steps the asynchronous-scheduler ablation one parallel
 	// round (n ticks) at a time.
 	AsyncSession = sim.AsyncSession
+	// EventSession steps the event-driven runtime (continuous per-node
+	// Poisson clocks, internal/eventsim) one unit of simulated time at a
+	// time, with exact age-of-information accessors and mid-run rate
+	// mutation (SetNodeRate / SetClassRate).
+	EventSession = eventsim.Session
+	// EventResult reports an event-driven run (time, events, AoI-bearing
+	// convergence and budget flags).
+	EventResult = eventsim.Result
+	// RateMap assigns per-node activation rates for the event-driven
+	// runtime: named classes plus per-node overrides, mutable between
+	// steps. Build one with NewRateMap / UniformRates / ParseRateSpec.
+	RateMap = eventsim.RateMap
 )
+
+// NewRateMap returns a RateMap assigning every one of the n nodes the
+// default rate def (0 parks a node: it never activates).
+func NewRateMap(n int, def float64) *RateMap { return eventsim.NewRateMap(n, def) }
+
+// UniformRates returns the homogeneous rate-1 map on n nodes, under which
+// the event runtime is statistically interchangeable with the tick
+// scheduler.
+func UniformRates(n int) *RateMap { return eventsim.Uniform(n) }
+
+// ParseRateSpec resolves a textual rate spec ("R" default rate,
+// "name=R:lo-hi" classes over inclusive node ranges, comma-separated)
+// against a population of n nodes — the grammar behind the binaries'
+// -rates flag.
+func ParseRateSpec(spec string, n int) (*RateMap, error) {
+	return eventsim.ParseRateSpec(spec, n)
+}
 
 // SessionOption configures NewSession / NewDirectedSession. Options that
 // only apply to one session family are silently ignored by the other
@@ -55,6 +85,7 @@ type sessionOptions struct {
 	dproc DirectedProcess
 	cfg   sim.Config
 	dcfg  sim.DirectedConfig
+	rates *RateMap
 }
 
 // WithProcess selects the undirected process (default Push).
@@ -118,6 +149,15 @@ func WithAutoWorkers() SessionOption {
 // ablation ignores it); fractions outside [0, 1] panic at construction.
 func WithDensePhase(frac float64) SessionOption {
 	return func(o *sessionOptions) { o.cfg.DensePhase = frac; o.dcfg.DensePhase = frac }
+}
+
+// WithRates hands an event session its per-node activation rates (default:
+// uniform rate 1). Applies to NewEventSession only; the tick-based
+// sessions ignore it. The session takes ownership of the map: mutate it
+// through EventSession.SetNodeRate / SetClassRate so pending activations
+// are rescheduled.
+func WithRates(m *RateMap) SessionOption {
+	return func(o *sessionOptions) { o.rates = m }
 }
 
 // WithMaxRounds caps the session's round budget: 0 (default) selects the
@@ -213,6 +253,28 @@ func NewAsyncSession(g *Graph, opts ...SessionOption) *AsyncSession {
 		acfg.MaxTicks = -1
 	}
 	return sim.NewAsyncSession(g, o.proc, o.r, acfg)
+}
+
+// NewEventSession constructs a resumable event-driven session over g: per-
+// node Poisson clocks (WithRates; uniform rate 1 by default), Step to the
+// next unit-time boundary, exact AoI accessors, and mid-run rate mutation.
+// Only the process, seed/rand, rates, Done, and delta-observer options
+// apply; the event budget follows MaxRounds × n when WithMaxRounds is set
+// (negative keeps meaning unbounded). Runs are bit-replayable from
+// (seed, rates) at any GOMAXPROCS setting.
+func NewEventSession(g *Graph, opts ...SessionOption) *EventSession {
+	o := applyOptions(opts)
+	ecfg := eventsim.Config{
+		Rates:         o.rates,
+		Done:          o.cfg.Done,
+		DeltaObserver: o.cfg.DeltaObserver,
+	}
+	if o.cfg.MaxRounds > 0 {
+		ecfg.MaxEvents = o.cfg.MaxRounds * g.N()
+	} else if o.cfg.MaxRounds < 0 {
+		ecfg.MaxEvents = -1
+	}
+	return eventsim.New(g, o.proc, o.r, ecfg)
 }
 
 // WorkersAuto is the Config.Workers / DirectedConfig.Workers sentinel for
