@@ -15,13 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gossipdisc/internal/experiments"
+	"gossipdisc/internal/export"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/sim"
 )
@@ -39,6 +43,7 @@ func main() {
 		sched          = flag.String("sched", "both", "async runtimes the scheduler experiments (E15) tabulate: both | tick | event")
 		ratesSpec      = flag.String("rates", "", "eventsim rate spec adding a custom-population table to E20, e.g. \"0.5,fast=8:0-15\" (resolved against the sweep's largest n)")
 		outDir         = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
+		metricsAddr    = flag.String("metrics-addr", "", "serve Prometheus text-format harness-progress metrics at this host:port while the selection runs")
 		list           = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -53,10 +58,33 @@ func main() {
 	opts := &options{
 		workers: *workers, trialsParallel: *trialsParallel,
 		backend: *backendName, sched: *sched, rates: *ratesSpec,
+		metricsAddr: *metricsAddr,
 	}
 	if err := opts.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+
+	// -metrics-addr serves harness-progress gauges over the whole selection:
+	// experiments run as black boxes (each owns its sessions), so the
+	// endpoint tracks the harness, not per-round state — gossipsim
+	// -metrics-addr is the per-round view.
+	var completed, running atomic.Int64
+	if *metricsAddr != "" {
+		exp := export.NewPrometheus()
+		exp.Gauge("gossip_experiments_completed", "Experiments finished so far.", func() float64 {
+			return float64(completed.Load())
+		})
+		exp.Gauge("gossip_experiments_running", "Experiments currently running (0 or 1).", func() float64 {
+			return float64(running.Load())
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving metrics at http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, exp)
 	}
 	// Resolve -workers exactly as gossipsim does: "auto" selects the
 	// autoscaling sentinel, -1 resolves to GOMAXPROCS (validate already
@@ -116,10 +144,13 @@ func main() {
 			}
 			out = io.MultiWriter(os.Stdout, file)
 		}
+		running.Store(1)
 		if err := e.Run(cfg, out); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		running.Store(0)
+		completed.Add(1)
 		if file != nil {
 			if err := file.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

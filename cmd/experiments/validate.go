@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 
 	"gossipdisc/internal/eventsim"
@@ -20,6 +21,25 @@ type options struct {
 	backend        string
 	sched          string
 	rates          string
+	metricsAddr    string
+}
+
+// validateMetricsAddr checks a -metrics-addr value exactly as gossipsim
+// does: empty disables the endpoint, anything else must be host:port with a
+// port in 1-65535. Pure, so tests can drive it without binding sockets.
+func validateMetricsAddr(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-metrics-addr must be host:port (got %q)", addr)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 1 || p > 65535 {
+		return fmt.Errorf("-metrics-addr port must be an integer in 1-65535 (got %q)", port)
+	}
+	return nil
 }
 
 // workerCount resolves the -workers flag exactly as gossipsim does:
@@ -63,5 +83,5 @@ func (o *options) validate() error {
 			return fmt.Errorf("-rates: %w", err)
 		}
 	}
-	return nil
+	return validateMetricsAddr(o.metricsAddr)
 }

@@ -28,6 +28,8 @@ func TestValidateOptions(t *testing.T) {
 		{"sched event", func(o *options) { o.sched = "event" }, ""},
 		{"rates default", func(o *options) { o.rates = "2" }, ""},
 		{"rates classes", func(o *options) { o.rates = "0.5,fast=8:0-15,park=0:16" }, ""},
+		{"metrics addr host:port", func(o *options) { o.metricsAddr = "localhost:9090" }, ""},
+		{"metrics addr bare port", func(o *options) { o.metricsAddr = ":8080" }, ""},
 
 		{"workers below sentinel", func(o *options) { o.workers = "-2" }, "-workers"},
 		{"workers gibberish", func(o *options) { o.workers = "many" }, "-workers"},
@@ -38,6 +40,10 @@ func TestValidateOptions(t *testing.T) {
 		{"malformed rates", func(o *options) { o.rates = "fast=oops:0-3" }, "-rates"},
 		{"negative rate", func(o *options) { o.rates = "-1" }, "-rates"},
 		{"two default rates", func(o *options) { o.rates = "1,2" }, "-rates"},
+		{"metrics addr no port", func(o *options) { o.metricsAddr = "localhost" }, "-metrics-addr"},
+		{"metrics addr port zero", func(o *options) { o.metricsAddr = ":0" }, "-metrics-addr port"},
+		{"metrics addr port too big", func(o *options) { o.metricsAddr = ":65536" }, "-metrics-addr port"},
+		{"metrics addr named port", func(o *options) { o.metricsAddr = ":grpc" }, "-metrics-addr port"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -48,6 +48,8 @@ func main() {
 		dense        = flag.Float64("dense", 0, "dense-phase threshold fraction in (0,1]: sample missing edges once remaining work drops below this fraction (0 = off; -mode sync only)")
 		scenarioPath = flag.String("scenario", "", "JSON chaos-scenario file: runs the wire-level message-passing stack under the scenario's impairments (-process push|pull; see examples/chaos-lab)")
 		backendName  = flag.String("backend", "dense", "graph row-storage backend: dense | sparse | auto (results are byte-identical; sparse fits n = 100k-1M)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus text-format metrics at this host:port for the duration of the run (trial 0 carries the analyzer pack; attaching does not change results)")
+		snapshotFmt  = flag.String("snapshot", "none", "print a topology snapshot of trial 0's final contact graph: dot | mermaid | none")
 		list         = flag.Bool("list", false, "list workload families and exit")
 	)
 	flag.Parse()
@@ -68,14 +70,16 @@ func main() {
 		rounds: *roundsBudget, traceAt: *traceAt, fail: *failProb, dense: *dense,
 		scenario: *scenarioPath, backend: *backendName,
 		sched: *sched, rates: *ratesSpec,
+		metricsAddr: *metricsAddr, snapshot: *snapshotFmt,
 	}
 	if err := opts.validate(); err != nil {
 		fatalf("%v", err)
 	}
 	backend, _ := graph.ParseBackend(*backendName)
+	obs := newObservability(*metricsAddr, *snapshotFmt)
 
 	if *scenarioPath != "" {
-		runWire(*process, *family, *n, *trials, *seed, *roundsBudget, *scenarioPath, backend)
+		runWire(*process, *family, *n, *trials, *seed, *roundsBudget, *scenarioPath, backend, obs)
 		return
 	}
 
@@ -108,7 +112,7 @@ func main() {
 	}
 
 	if *process == "directed" {
-		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense, backend)
+		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense, backend, obs)
 		return
 	}
 
@@ -134,7 +138,7 @@ func main() {
 	}
 
 	if async && *sched == "event" {
-		runEvent(proc, fam, *n, *trials, *seed, *roundsBudget, *ratesSpec, backend)
+		runEvent(proc, fam, *n, *trials, *seed, *roundsBudget, *ratesSpec, backend, obs)
 		return
 	}
 
@@ -153,7 +157,15 @@ func main() {
 			if *roundsBudget > 0 {
 				acfg.MaxTicks = *roundsBudget * *n
 			}
-			res := sim.RunAsync(g, proc, r, acfg)
+			var res sim.AsyncResult
+			if t == 0 && obs.active() {
+				sess := sim.NewAsyncSession(g, proc, r, acfg)
+				obs.attach(sess.Subscribe)
+				defer obs.finish(g)
+				res = sess.Run()
+			} else {
+				res = sim.RunAsync(g, proc, r, acfg)
+			}
 			if !res.Converged && *roundsBudget == 0 {
 				fatalf("trial %d did not converge within %d ticks", t, res.Ticks)
 			}
@@ -168,34 +180,43 @@ func main() {
 		}
 		cfg := sim.Config{Mode: commit, Workers: engineWorkers, MaxRounds: *roundsBudget, DensePhase: *dense}
 		var res sim.Result
-		if *traceAt > 0 && t == 0 {
-			// Trial 0 is driven step-wise through the session API: the
-			// trajectory consumes the delta Step hands back, so tracing adds
-			// no per-round graph scans and no observer wiring.
+		if t == 0 && (*traceAt > 0 || obs.active()) {
+			// Trial 0 runs through the session API so observers can ride
+			// along: the analyzer pack and Prometheus exporter subscribe to
+			// the observation bus, and -trace drives the run step-wise,
+			// feeding the trajectory the delta Step hands back — no
+			// per-round graph scans either way, and attaching observers
+			// never changes the result.
 			sess := sim.NewSession(g, proc, r, cfg)
-			traj := &metrics.Trajectory{Every: *traceAt}
-			for {
-				d, more := sess.Step()
-				if d == nil {
-					break
+			obs.attach(sess.Subscribe)
+			defer obs.finish(g)
+			if *traceAt > 0 {
+				traj := &metrics.Trajectory{Every: *traceAt}
+				for {
+					d, more := sess.Step()
+					if d == nil {
+						break
+					}
+					traj.ObserveDelta(sess.Graph(), d)
+					if !more {
+						break
+					}
 				}
-				traj.ObserveDelta(sess.Graph(), d)
-				if !more {
-					break
-				}
+				defer func(traj *metrics.Trajectory) {
+					traj.Finalize()
+					tt := trace.NewTable("min-degree trajectory (trial 0, stepped)",
+						"round", "min deg", "max deg", "edges", "missing")
+					for _, s := range traj.Snapshots {
+						tt.AddRow(trace.I(s.Round), trace.I(s.MinDegree),
+							trace.I(s.MaxDegree), trace.I(s.Edges), trace.I(s.Missing))
+					}
+					tt.Render(os.Stdout)
+				}(traj)
+			} else {
+				sess.Run()
 			}
 			sess.Close()
 			res = sess.Stats()
-			defer func(traj *metrics.Trajectory) {
-				traj.Finalize()
-				tt := trace.NewTable("min-degree trajectory (trial 0, stepped)",
-					"round", "min deg", "max deg", "edges", "missing")
-				for _, s := range traj.Snapshots {
-					tt.AddRow(trace.I(s.Round), trace.I(s.MinDegree),
-						trace.I(s.MaxDegree), trace.I(s.Edges), trace.I(s.Missing))
-				}
-				tt.Render(os.Stdout)
-			}(traj)
 		} else {
 			res = sim.Run(g, proc, r, cfg)
 		}
@@ -225,7 +246,7 @@ func main() {
 // on netsim) under a chaos scenario: every trial is replayable from
 // (seed, scenario file), and the table reports the wire's own traffic and
 // impairment counters next to the discovery round count.
-func runWire(process, family string, n, trials int, seed uint64, budget int, path string, backend graph.Backend) {
+func runWire(process, family string, n, trials int, seed uint64, budget int, path string, backend graph.Backend, obs *observability) {
 	scn, err := netsim.LoadScenario(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -262,6 +283,12 @@ func runWire(process, family string, n, trials int, seed uint64, budget int, pat
 		r := root.Split()
 		g := fam.Generate(n, r, backend)
 		cl := protocol.NewCluster(g, proto, netsim.Config{Seed: r.Uint64(), Scenario: scn})
+		if t == 0 && obs.active() {
+			// Trial 0 publishes the wire's cumulative traffic counters into
+			// the metrics endpoint after every wire round.
+			obs.attach(cl.Net.Subscribe)
+			defer obs.finish(nil)
+		}
 		rds, done := cl.Run(maxRounds)
 		st := cl.Net.Stats()
 		cl.Close()
@@ -291,7 +318,7 @@ func runWire(process, family string, n, trials int, seed uint64, budget int, pat
 // the tick scheduler cannot see (avg AoI is the time-averaged mean age
 // over the run, max AoI the final maximum age). A -rounds budget maps to
 // rounds × n events, matching the tick scheduler's rounds × n ticks.
-func runEvent(proc core.Process, fam gen.Family, n, trials int, seed uint64, budget int, spec string, backend graph.Backend) {
+func runEvent(proc core.Process, fam gen.Family, n, trials int, seed uint64, budget int, spec string, backend graph.Backend, obs *observability) {
 	rates, err := eventsim.ParseRateSpec(spec, n)
 	if err != nil {
 		fatalf("-rates: %v", err)
@@ -314,6 +341,10 @@ func runEvent(proc core.Process, fam gen.Family, n, trials int, seed uint64, bud
 			cfg.MaxEvents = budget * n
 		}
 		s := eventsim.New(g, proc, r, cfg)
+		if t == 0 && obs.active() {
+			obs.attach(s.Subscribe)
+			defer obs.finish(g)
+		}
 		res := s.Run()
 		if res.Stalled {
 			fatalf("trial %d stalled at time %.1f: every remaining rate is zero (see -rates)", t, res.Time)
@@ -341,7 +372,7 @@ func runEvent(proc core.Process, fam gen.Family, n, trials int, seed uint64, bud
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 
-func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64, backend graph.Backend) {
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64, backend graph.Backend, obs *observability) {
 	fam, err := gen.DirectedFamilyByName(family)
 	if err != nil {
 		fatalf("%v", err)
@@ -358,8 +389,17 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 	for t := 0; t < trials; t++ {
 		r := root.Split()
 		var g *graph.Directed = fam.Generate(n, r, backend)
-		res := sim.RunDirected(g, core.DirectedTwoHop{}, r,
-			sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget, DensePhase: dense})
+		dcfg := sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget, DensePhase: dense}
+		var res sim.DirectedResult
+		if t == 0 && obs.active() {
+			sess := sim.NewDirectedSession(g, core.DirectedTwoHop{}, r, dcfg)
+			obs.attach(sess.Subscribe)
+			defer obs.finish(nil)
+			res = sess.Run()
+			sess.Close()
+		} else {
+			res = sim.RunDirected(g, core.DirectedTwoHop{}, r, dcfg)
+		}
 		if !res.Converged && budget == 0 {
 			fatalf("trial %d did not converge", t)
 		}

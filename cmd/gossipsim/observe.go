@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"gossipdisc/internal/analyze"
+	"gossipdisc/internal/export"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/stream"
+)
+
+// observability bundles the optional trial-0 observation surfaces:
+// -metrics-addr attaches the standard analyzer pack plus a Prometheus
+// exporter and serves the exposition over HTTP for the duration of the
+// process, and -snapshot renders trial 0's final contact graph. A nil
+// *observability is valid and inert, so run paths call its methods
+// unconditionally.
+type observability struct {
+	health   *analyze.Health
+	exp      *export.Prometheus
+	snapshot string // "dot", "mermaid", or "" (off)
+}
+
+// newObservability builds the surfaces the flags ask for, binding and
+// serving the metrics endpoint immediately; it returns nil when neither
+// flag is active.
+func newObservability(metricsAddr, snapshot string) *observability {
+	o := &observability{}
+	if snapshot == "dot" || snapshot == "mermaid" {
+		o.snapshot = snapshot
+	}
+	if metricsAddr != "" {
+		o.health = analyze.NewHealth()
+		o.exp = export.NewPrometheus()
+		o.exp.Attach(o.health)
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatalf("-metrics-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gossipsim: serving metrics at http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, o.exp)
+	}
+	if o.health == nil && o.snapshot == "" {
+		return nil
+	}
+	return o
+}
+
+// active reports whether trial 0 should run through a session so
+// subscribers can attach.
+func (o *observability) active() bool { return o != nil }
+
+// attach subscribes the active surfaces through any session's Subscribe
+// method (they all share the signature).
+func (o *observability) attach(subscribe func(stream.Subscriber)) {
+	if o == nil {
+		return
+	}
+	if o.health != nil {
+		subscribe(o.health)
+	}
+	if o.exp != nil {
+		subscribe(o.exp)
+	}
+}
+
+// finish prints the health findings and the topology snapshot after
+// trial 0; g may be nil when the run has no undirected contact graph.
+func (o *observability) finish(g *graph.Undirected) {
+	if o == nil {
+		return
+	}
+	if o.health != nil {
+		if fs := o.health.Findings(); len(fs) > 0 {
+			fmt.Println("\nhealth findings (trial 0):")
+			for _, f := range fs {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+	if o.snapshot != "" && g != nil {
+		fmt.Println()
+		var err error
+		switch o.snapshot {
+		case "dot":
+			err = export.WriteDOT(os.Stdout, g, export.SnapshotOptions{})
+		case "mermaid":
+			err = export.WriteMermaid(os.Stdout, g, export.SnapshotOptions{})
+		}
+		if err != nil {
+			fatalf("-snapshot: %v", err)
+		}
+	}
+}

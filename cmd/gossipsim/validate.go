@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 
 	"gossipdisc/internal/eventsim"
@@ -32,6 +33,27 @@ type options struct {
 	backend  string
 	sched    string
 	rates    string
+
+	metricsAddr string
+	snapshot    string
+}
+
+// validateMetricsAddr checks a -metrics-addr value: empty disables the
+// endpoint, anything else must be host:port with a port in 1-65535. Pure,
+// so table-driven tests can drive it without binding sockets.
+func validateMetricsAddr(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-metrics-addr must be host:port (got %q)", addr)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 1 || p > 65535 {
+		return fmt.Errorf("-metrics-addr port must be an integer in 1-65535 (got %q)", port)
+	}
+	return nil
 }
 
 // workerCount resolves the -workers flag: auto == true selects the
@@ -112,6 +134,22 @@ func (o *options) validate() error {
 	}
 	if o.dense > 0 && o.fail > 0 {
 		return fmt.Errorf("-dense cannot be combined with -fail: dense rounds sample missing edges directly and bypass the process (and its failure model)")
+	}
+	if err := validateMetricsAddr(o.metricsAddr); err != nil {
+		return err
+	}
+	switch o.snapshot {
+	case "", "none", "dot", "mermaid":
+	default:
+		return fmt.Errorf("unknown -snapshot %q (want dot, mermaid or none)", o.snapshot)
+	}
+	if o.snapshot == "dot" || o.snapshot == "mermaid" {
+		if o.process == "directed" {
+			return fmt.Errorf("-snapshot renders the undirected contact graph (got -process directed)")
+		}
+		if o.scenario != "" {
+			return fmt.Errorf("-snapshot cannot be combined with -scenario: the wire stack keeps per-node contact lists, not a central graph")
+		}
 	}
 	if o.scenario != "" {
 		// -scenario runs the wire-level message-passing stack, which has

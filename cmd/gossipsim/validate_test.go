@@ -82,6 +82,25 @@ func TestValidateOptions(t *testing.T) {
 		{"scenario with dense", func(o *options) { o.scenario = "chaos.json"; o.dense = 0.2 }, "-dense"},
 		{"scenario with fail", func(o *options) { o.scenario = "chaos.json"; o.fail = 0.1 }, "-fail"},
 		{"scenario with trace", func(o *options) { o.scenario = "chaos.json"; o.traceAt = 5 }, "-trace"},
+
+		{"metrics addr host:port", func(o *options) { o.metricsAddr = "localhost:9090" }, ""},
+		{"metrics addr bare port", func(o *options) { o.metricsAddr = ":8080" }, ""},
+		{"metrics addr max port", func(o *options) { o.metricsAddr = ":65535" }, ""},
+		{"metrics addr with scenario", func(o *options) { o.metricsAddr = ":9090"; o.scenario = "chaos.json" }, ""},
+		{"metrics addr no port", func(o *options) { o.metricsAddr = "localhost" }, "-metrics-addr"},
+		{"metrics addr port zero", func(o *options) { o.metricsAddr = ":0" }, "-metrics-addr port"},
+		{"metrics addr port too big", func(o *options) { o.metricsAddr = ":65536" }, "-metrics-addr port"},
+		{"metrics addr named port", func(o *options) { o.metricsAddr = ":http" }, "-metrics-addr port"},
+		{"metrics addr negative port", func(o *options) { o.metricsAddr = "localhost:-1" }, "-metrics-addr"},
+
+		{"snapshot none", func(o *options) { o.snapshot = "none" }, ""},
+		{"snapshot empty", func(o *options) { o.snapshot = "" }, ""},
+		{"snapshot dot", func(o *options) { o.snapshot = "dot" }, ""},
+		{"snapshot mermaid", func(o *options) { o.snapshot = "mermaid" }, ""},
+		{"snapshot mermaid async", func(o *options) { o.snapshot = "mermaid"; o.mode = "async" }, ""},
+		{"snapshot unknown", func(o *options) { o.snapshot = "svg" }, "-snapshot"},
+		{"snapshot directed", func(o *options) { o.snapshot = "dot"; o.process = "directed" }, "-snapshot"},
+		{"snapshot with scenario", func(o *options) { o.snapshot = "dot"; o.scenario = "chaos.json" }, "-snapshot"},
 	}
 	t.Run("worker count resolution", func(t *testing.T) {
 		o := good()

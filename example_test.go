@@ -132,6 +132,37 @@ func ExampleNewSession() {
 	// matches one-shot Run: true
 }
 
+// ExampleWithAnalyzers attaches the standard health-analyzer pack and a
+// Prometheus exporter to a session's event bus. Subscribers ride the same
+// per-round delta stream the engines already emit, so attaching them never
+// changes results.
+func ExampleWithAnalyzers() {
+	g := gossipdisc.Path(16)
+	health := gossipdisc.NewHealth()
+	exporter := gossipdisc.NewPrometheusExporter()
+	exporter.Attach(health)
+	sess := gossipdisc.NewSession(g,
+		gossipdisc.WithSeed(3),
+		gossipdisc.WithAnalyzers(health, exporter),
+	)
+	defer sess.Close()
+	res := sess.Run()
+
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("components:", health.Connectivity.Components())
+	fmt.Println("at risk:", health.Connectivity.AtRisk())
+	for _, f := range health.Findings() {
+		fmt.Println(f)
+	}
+	// Output:
+	// converged: true
+	// components: 1
+	// at risk: 0
+	// [info] age-of-information (round 37, node 9): mean age 6.88, max age 21.00
+	// [info] connectivity (round 37): single component, 16 active nodes, none at risk
+	// [info] degree-profile (round 37): mean degree 15.00, cv 0.00, drift +0.347/round
+}
+
 // ExampleRunWithConfig stops a run at a custom condition: a minimum degree
 // target rather than completeness.
 func ExampleRunWithConfig() {

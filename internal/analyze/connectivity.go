@@ -1,0 +1,256 @@
+package analyze
+
+import (
+	"fmt"
+
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/stream"
+)
+
+// Connectivity watches the contact graph's component structure and
+// isolation risk from the delta stream: a union-find over the edges as
+// they commit (the contact graph only grows — leaves are fail-stop, so
+// edges are never removed and the union-find stays exact) plus incremental
+// degree counters. Per-round work is O(new edges · α(n)); nothing ever
+// rescans the graph.
+//
+// A node is *active* once it has gossiped at least one edge or joined
+// through a membership event, and stops being active when it leaves.
+// Components() counts components among active nodes, and AtRisk() counts
+// active nodes within RiskDegree edges of isolation (contact degree <=
+// RiskDegree) — the "cluster X is one node from isolation" signal. Attach
+// at session start: an analyzer attached mid-run infers activity from the
+// degrees it can see and treats every connected node as a member.
+type Connectivity struct {
+	// RiskDegree is the isolation threshold k: an active node with degree
+	// <= k is at risk. NewConnectivity defaults it to 1.
+	RiskDegree int
+
+	inited bool
+	n      int
+	round  int
+
+	parent []int32
+	rank   []int8
+	// activeIn[root] counts active nodes in the component; compActive is
+	// the number of components holding at least one active node.
+	activeIn   []int32
+	compActive int
+
+	deg      []int32
+	active   []bool
+	departed []bool
+	actCount int
+	risk     int // active nodes with deg <= RiskDegree
+}
+
+// NewConnectivity returns a connectivity analyzer with isolation threshold
+// riskDegree (values < 1 default to 1).
+func NewConnectivity(riskDegree int) *Connectivity {
+	if riskDegree < 1 {
+		riskDegree = 1
+	}
+	return &Connectivity{RiskDegree: riskDegree}
+}
+
+// OnEvent implements stream.Subscriber. It consumes KindRound deltas and
+// KindJoin / KindLeave membership events; everything else is ignored.
+func (c *Connectivity) OnEvent(e *stream.Event) {
+	switch e.Kind {
+	case stream.KindRound:
+		if !c.inited {
+			c.init(e.Graph, e.Delta)
+		}
+		c.round = e.Delta.Round
+		for _, u := range e.Delta.Touched {
+			c.bumpDegree(int(u), e.Delta.DegreeInc[u])
+		}
+		for _, edge := range e.Delta.NewEdges {
+			c.union(edge.U, edge.V)
+		}
+	case stream.KindJoin:
+		if !c.inited {
+			c.init(e.Graph, nil)
+		}
+		c.setMember(e.Node, true)
+	case stream.KindLeave:
+		if !c.inited {
+			c.init(e.Graph, nil)
+		}
+		c.setMember(e.Node, false)
+	}
+}
+
+// init seeds the union-find and degree state from the graph as of the
+// first observed event. When that event is a round delta, the delta's
+// increments are rewound (the graph already contains them) so the
+// activation bookkeeping below replays them exactly once; unions are
+// idempotent and need no rewind.
+func (c *Connectivity) init(g *graph.Undirected, d *stream.RoundDelta) {
+	n := g.N()
+	c.n = n
+	c.parent = make([]int32, n)
+	c.rank = make([]int8, n)
+	c.activeIn = make([]int32, n)
+	c.deg = make([]int32, n)
+	c.active = make([]bool, n)
+	c.departed = make([]bool, n)
+	for u := 0; u < n; u++ {
+		c.parent[u] = int32(u)
+		c.deg[u] = int32(g.Degree(u))
+		if d != nil {
+			c.deg[u] -= d.DegreeInc[u]
+		}
+	}
+	c.inited = true
+	for u := 0; u < n; u++ {
+		if c.deg[u] > 0 {
+			c.activate(u)
+		}
+		for i, du := 0, g.Degree(u); i < du; i++ {
+			if v := g.Neighbor(u, i); v > u {
+				c.union(u, v)
+			}
+		}
+	}
+}
+
+func (c *Connectivity) find(u int) int32 {
+	root := int32(u)
+	for c.parent[root] != root {
+		root = c.parent[root]
+	}
+	// Path compression.
+	for int32(u) != root {
+		u, c.parent[u] = int(c.parent[u]), root
+	}
+	return root
+}
+
+func (c *Connectivity) union(u, v int) {
+	ru, rv := c.find(u), c.find(v)
+	if ru == rv {
+		return
+	}
+	if c.rank[ru] < c.rank[rv] {
+		ru, rv = rv, ru
+	} else if c.rank[ru] == c.rank[rv] {
+		c.rank[ru]++
+	}
+	// rv merges into ru.
+	c.parent[rv] = ru
+	if c.activeIn[ru] > 0 && c.activeIn[rv] > 0 {
+		c.compActive--
+	}
+	c.activeIn[ru] += c.activeIn[rv]
+	c.activeIn[rv] = 0
+}
+
+// bumpDegree applies one node's degree increment, maintaining activity and
+// the at-risk count across the RiskDegree boundary.
+func (c *Connectivity) bumpDegree(u int, inc int32) {
+	old := c.deg[u]
+	now := old + inc
+	c.deg[u] = now
+	if c.departed[u] {
+		return // stale-edge growth on a departed slot changes nothing
+	}
+	if !c.active[u] {
+		if now > 0 {
+			c.activate(u) // reads the updated degree: risk is already right
+		}
+		return
+	}
+	if int(old) <= c.RiskDegree && int(now) > c.RiskDegree {
+		c.risk--
+	}
+}
+
+// activate marks u active (joining the component accounting and, entering
+// at any degree <= RiskDegree, the at-risk count).
+func (c *Connectivity) activate(u int) {
+	c.active[u] = true
+	c.actCount++
+	if int(c.deg[u]) <= c.RiskDegree {
+		c.risk++
+	}
+	root := c.find(u)
+	c.activeIn[root]++
+	if c.activeIn[root] == 1 {
+		c.compActive++
+	}
+}
+
+// setMember applies a join (member = true) or fail-stop leave.
+func (c *Connectivity) setMember(u int, member bool) {
+	if member {
+		c.departed[u] = false
+		if !c.active[u] {
+			c.activate(u)
+		}
+		return
+	}
+	c.departed[u] = true
+	if !c.active[u] {
+		return
+	}
+	c.active[u] = false
+	c.actCount--
+	if int(c.deg[u]) <= c.RiskDegree {
+		c.risk--
+	}
+	root := c.find(u)
+	c.activeIn[root]--
+	if c.activeIn[root] == 0 {
+		c.compActive--
+	}
+}
+
+// Components returns the number of connected components of the contact
+// graph that hold at least one active node. O(1).
+func (c *Connectivity) Components() int { return c.compActive }
+
+// AtRisk returns the number of active nodes within RiskDegree edges of
+// isolation (contact degree <= RiskDegree). O(1).
+func (c *Connectivity) AtRisk() int { return c.risk }
+
+// Active returns the number of active nodes. O(1).
+func (c *Connectivity) Active() int { return c.actCount }
+
+// Findings reports the current connectivity health: a critical partition
+// finding when active nodes span multiple components, a warning when nodes
+// sit at the isolation threshold, and an info line when fully healthy.
+func (c *Connectivity) Findings() []Finding {
+	if !c.inited || c.actCount == 0 {
+		return nil
+	}
+	var fs []Finding
+	if c.compActive > 1 {
+		fs = append(fs, Finding{
+			Rule:     "partition",
+			Severity: SevCritical,
+			Round:    c.round,
+			Node:     -1,
+			Message:  fmt.Sprintf("contact graph is split: %d components over %d active nodes", c.compActive, c.actCount),
+		})
+	}
+	if c.risk > 0 {
+		fs = append(fs, Finding{
+			Rule:     "isolation-risk",
+			Severity: SevWarning,
+			Round:    c.round,
+			Node:     -1,
+			Message:  fmt.Sprintf("%d of %d active nodes within %d edge(s) of isolation", c.risk, c.actCount, c.RiskDegree),
+		})
+	}
+	if len(fs) == 0 {
+		fs = append(fs, Finding{
+			Rule:     "connectivity",
+			Severity: SevInfo,
+			Round:    c.round,
+			Node:     -1,
+			Message:  fmt.Sprintf("single component, %d active nodes, none at risk", c.actCount),
+		})
+	}
+	return fs
+}

@@ -1,0 +1,147 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+
+	"gossipdisc/internal/stream"
+)
+
+// defaultDriftWindow is the ring size used when NewDegreeDrift gets 0.
+const defaultDriftWindow = 64
+
+// DegreeDrift tracks the shape of the contact-degree profile incrementally:
+// mean and variance of the degree distribution, updated in O(touched nodes)
+// per round from the delta's increments, plus a ring buffer of recent means
+// that turns the trajectory into a drift rate (edges gained per node per
+// round over the window). A highly skewed profile — a few hubs doing all the
+// discovery while the tail stays near-isolated — shows up as a large
+// coefficient of variation and is surfaced as a warning.
+type DegreeDrift struct {
+	// Window is the number of recent rounds the drift rate averages over.
+	Window int
+	// SkewCV is the coefficient-of-variation threshold above which the
+	// profile is flagged as skewed (default 2).
+	SkewCV float64
+
+	inited bool
+	n      int
+	round  int
+
+	deg   []int32
+	sum   float64 // Σ deg
+	sumsq float64 // Σ deg²
+
+	ring []float64 // recent means, ring[round % Window]
+	seen int       // rounds observed (bounds the ring fill)
+}
+
+// NewDegreeDrift returns a drift analyzer averaging over window rounds
+// (values < 1 select the default window of 64).
+func NewDegreeDrift(window int) *DegreeDrift {
+	if window < 1 {
+		window = defaultDriftWindow
+	}
+	return &DegreeDrift{Window: window, SkewCV: 2}
+}
+
+// OnEvent implements stream.Subscriber; only KindRound deltas matter.
+func (d *DegreeDrift) OnEvent(e *stream.Event) {
+	if e.Kind != stream.KindRound {
+		return
+	}
+	if !d.inited {
+		d.inited = true
+		d.n = e.Graph.N()
+		d.deg = make([]int32, d.n)
+		d.ring = make([]float64, d.Window)
+		// Rewind the first delta's increments (the graph already holds
+		// them) so the loop below applies every increment exactly once.
+		for u := 0; u < d.n; u++ {
+			dd := int32(e.Graph.Degree(u)) - e.Delta.DegreeInc[u]
+			d.deg[u] = dd
+			d.sum += float64(dd)
+			d.sumsq += float64(dd) * float64(dd)
+		}
+	}
+	d.round = e.Delta.Round
+	for _, u := range e.Delta.Touched {
+		old := float64(d.deg[u])
+		d.deg[u] += e.Delta.DegreeInc[u]
+		now := float64(d.deg[u])
+		d.sum += now - old
+		d.sumsq += now*now - old*old
+	}
+	d.ring[d.seen%d.Window] = d.Mean()
+	d.seen++
+}
+
+// Mean returns the current mean contact degree. O(1).
+func (d *DegreeDrift) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Variance returns the current population variance of the degrees. O(1).
+func (d *DegreeDrift) Variance() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.sumsq/float64(d.n) - m*m
+	if v < 0 {
+		v = 0 // numeric noise
+	}
+	return v
+}
+
+// CV returns the coefficient of variation (stddev / mean) of the degree
+// profile, or 0 before any degree exists. O(1).
+func (d *DegreeDrift) CV() float64 {
+	m := d.Mean()
+	if m == 0 {
+		return 0
+	}
+	return math.Sqrt(d.Variance()) / m
+}
+
+// Drift returns the mean-degree growth rate over the window, in edges per
+// node per round. O(1).
+func (d *DegreeDrift) Drift() float64 {
+	if d.seen < 2 {
+		return 0
+	}
+	span := d.seen
+	if span > d.Window {
+		span = d.Window
+	}
+	newest := d.ring[(d.seen-1)%d.Window]
+	oldest := d.ring[(d.seen-span)%d.Window]
+	return (newest - oldest) / float64(span-1)
+}
+
+// Findings reports the degree-profile health: a warning when the profile is
+// heavily skewed, otherwise an info line with the live gauges.
+func (d *DegreeDrift) Findings() []Finding {
+	if !d.inited {
+		return nil
+	}
+	if cv := d.CV(); cv > d.SkewCV {
+		return []Finding{{
+			Rule:     "degree-skew",
+			Severity: SevWarning,
+			Round:    d.round,
+			Node:     -1,
+			Message:  fmt.Sprintf("degree profile skewed: cv %.2f (mean %.2f, drift %+.3f/round)", cv, d.Mean(), d.Drift()),
+		}}
+	}
+	return []Finding{{
+		Rule:     "degree-profile",
+		Severity: SevInfo,
+		Round:    d.round,
+		Node:     -1,
+		Message:  fmt.Sprintf("mean degree %.2f, cv %.2f, drift %+.3f/round", d.Mean(), d.CV(), d.Drift()),
+	}}
+}

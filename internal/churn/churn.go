@@ -29,6 +29,7 @@ import (
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stream"
 )
 
 // Config parameterizes a churn session.
@@ -120,6 +121,12 @@ func (s *Session) JoinsDropped() int { return s.joinsDropped }
 
 // Graph exposes the underlying accumulated contact graph (read-only use).
 func (s *Session) Graph() *graph.Undirected { return s.es.Graph() }
+
+// Subscribe attaches sub to the engine session's observation bus: round
+// deltas (with Joined/Left/Members/MemberEdges populated, since churn
+// sessions always track membership) plus a KindJoin / KindLeave event for
+// every churn event as it is applied. See sim.Session.Subscribe.
+func (s *Session) Subscribe(sub stream.Subscriber) { s.es.Subscribe(sub) }
 
 // Alive reports whether slot u currently holds a member.
 func (s *Session) Alive(u int) bool { return s.alive[u] }

@@ -1,0 +1,90 @@
+package eventsim
+
+import (
+	"testing"
+
+	"gossipdisc/internal/analyze"
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stream"
+)
+
+// The event-driven half of the bus-equivalence contract (the synchronous
+// engines are covered in internal/sim): Result and delta stream must be
+// bit-identical whether deltas are consumed through the legacy
+// Config.DeltaObserver adapter or the bus, with 0, 1, or N subscribers.
+
+// eventDeltaHash folds each round delta into an fnv-1a fingerprint — the
+// same fold internal/sim's backend goldens use, minus the fields the event
+// runtime never populates differently per backend.
+type eventDeltaHash struct{ h uint64 }
+
+func newEventDeltaHash() *eventDeltaHash { return &eventDeltaHash{h: 14695981039346656037} }
+
+func (d *eventDeltaHash) ints(vs ...int) {
+	for _, v := range vs {
+		d.h ^= uint64(v)
+		d.h *= 1099511628211
+	}
+}
+
+func (d *eventDeltaHash) observe(g *graph.Undirected, rd *sim.RoundDelta) {
+	d.ints(rd.Round, len(rd.NewEdges), rd.EdgesRemaining, rd.Members, rd.MemberEdges)
+	for _, e := range rd.NewEdges {
+		d.ints(e.U, e.V)
+	}
+	for i, u := range rd.Touched {
+		d.ints(int(u), int(rd.DegreeInc[u]), i)
+	}
+}
+
+func TestBusEquivalenceEvent(t *testing.T) {
+	run := func(nsubs int) (Result, uint64) {
+		g := gen.Path(64)
+		dh := newEventDeltaHash()
+		s := New(g, core.Push{}, rng.New(11), Config{})
+		if nsubs >= 1 {
+			s.Subscribe(stream.SubscriberFunc(func(e *stream.Event) {
+				if e.Kind == stream.KindRound {
+					dh.observe(e.Graph, e.Delta)
+				}
+			}))
+		}
+		for i := 1; i < nsubs; i++ {
+			if i == 1 {
+				s.Subscribe(analyze.NewHealth())
+				continue
+			}
+			s.Subscribe(stream.SubscriberFunc(func(*stream.Event) {}))
+		}
+		res := s.Run()
+		if !g.IsComplete() {
+			t.Fatal("event run did not complete the graph")
+		}
+		if nsubs == 0 {
+			return res, 0
+		}
+		return res, dh.h
+	}
+
+	g := gen.Path(64)
+	legacy := newEventDeltaHash()
+	wantRes := Run(g, core.Push{}, rng.New(11), Config{
+		DeltaObserver: legacy.observe,
+	})
+	if !g.IsComplete() {
+		t.Fatal("legacy event run did not complete the graph")
+	}
+	for _, nsubs := range []int{0, 1, 3} {
+		res, h := run(nsubs)
+		if res != wantRes {
+			t.Fatalf("nsubs=%d Result diverged:\n legacy: %+v\n bus:    %+v", nsubs, wantRes, res)
+		}
+		if nsubs > 0 && h != legacy.h {
+			t.Fatalf("nsubs=%d delta stream diverged (hash %x, legacy %x)", nsubs, h, legacy.h)
+		}
+	}
+}

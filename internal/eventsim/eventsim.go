@@ -46,6 +46,7 @@ import (
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stream"
 )
 
 // Config controls an event-driven run or session.
@@ -72,6 +73,10 @@ type Config struct {
 	// signal for age metrics. A final partial round, if any, is emitted
 	// before the run finishes. The delta and its slices are reused; copy
 	// anything retained.
+	//
+	// Deprecated: a thin adapter over the session's observation bus (see
+	// sim.Config.DeltaObserver); new consumers should attach through
+	// Session.Subscribe, which also carries rate-change events.
 	DeltaObserver func(g *graph.Undirected, d *sim.RoundDelta)
 }
 
@@ -137,7 +142,15 @@ type Session struct {
 
 	accepted []graph.Edge
 	propose  func(a, b int)
-	ds       *deltaFiller
+
+	// Observation bus and delta state: the runtime publishes a KindRound
+	// event at every parallel-round boundary (with the exact event Time)
+	// and a KindRateChange event for every rate retune. acc is the shared
+	// accumulator from internal/stream — the same fill the synchronous
+	// engines use, which is what makes every delta consumer
+	// runtime-agnostic.
+	bus stream.Bus
+	acc *stream.DeltaAccumulator
 
 	// hook, if non-nil, observes every activation as (node, time) — a
 	// package-private tap the determinism property tests record the
@@ -178,9 +191,25 @@ func New(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) *Session 
 		rates:     rates,
 	}
 	if cfg.DeltaObserver != nil {
-		s.ds = newDeltaFiller(n, cfg.DeltaObserver)
+		// The legacy observer rides the bus as its first subscriber, exactly
+		// as the sim sessions treat their DeltaObserver fields.
+		s.Subscribe(stream.RoundObserver(cfg.DeltaObserver))
 	}
 	return s
+}
+
+// Subscribe attaches sub to the session's observation bus. Subscribers
+// receive a KindRound event at every parallel-round boundary (Time carries
+// the exact simulated time, fractional for the final partial round) and a
+// KindRateChange event for every SetNodeRate / SetClassRate retune.
+// Attaching subscribers does not perturb the run
+// (TestBusEquivalenceEvent); payloads are reused across rounds — copy
+// anything retained.
+func (s *Session) Subscribe(sub stream.Subscriber) {
+	s.bus.Subscribe(sub)
+	if s.acc == nil {
+		s.acc = stream.NewDeltaAccumulator(s.n)
+	}
 }
 
 // start lazily initializes the run: the done-at-entry check, the per-node
@@ -214,7 +243,7 @@ func (s *Session) start() {
 			s.res.NewEdges++
 			s.touch(a)
 			s.touch(b)
-			if s.ds != nil {
+			if s.acc != nil {
 				s.accepted = append(s.accepted, graph.Edge{U: a, V: b}.Norm())
 			}
 		}
@@ -237,11 +266,15 @@ func (s *Session) advanceTo(t float64) {
 	s.now = t
 }
 
-// emitRound emits the accumulated delta for the given parallel round.
+// emitRound fills and publishes the accumulated delta for the given
+// parallel round. Time carries the exact simulated time — the boundary
+// itself for full rounds, the (fractional) termination time for the final
+// partial one.
 func (s *Session) emitRound(round int) {
 	s.emits++
-	if s.ds != nil {
-		s.ds.emit(round, s.g, s.accepted)
+	if s.acc != nil {
+		s.acc.Fill(round, s.g, s.accepted)
+		s.bus.EmitRound(s.g, &s.acc.D, s.now)
 	}
 	s.accepted = s.accepted[:0]
 	s.eventsInRound = 0
@@ -324,15 +357,15 @@ func (s *Session) step() bool {
 // ok == false; a Step after that returns (nil, false). The delta and its
 // slices are reused across rounds — copy anything retained.
 func (s *Session) Step() (d *sim.RoundDelta, ok bool) {
-	if s.ds == nil {
-		s.ds = newDeltaFiller(s.n, nil)
+	if s.acc == nil {
+		s.acc = stream.NewDeltaAccumulator(s.n)
 	}
 	before := s.emits
 	ok = s.step()
 	if s.emits == before {
 		return nil, false
 	}
-	return &s.ds.d, ok
+	return &s.acc.D, ok
 }
 
 // Run drives the session to the Done predicate, a stall, or the event
@@ -428,6 +461,7 @@ func (s *Session) TimeAvgMeanAge() float64 {
 func (s *Session) SetNodeRate(u int, rate float64) {
 	s.rates.SetNodeRate(u, rate)
 	s.reschedule(u)
+	s.bus.EmitRateChange(u, "", rate, s.now)
 }
 
 // SetClassRate retunes a whole named class between steps, rescheduling
@@ -436,6 +470,8 @@ func (s *Session) SetClassRate(name string, rate float64) {
 	for _, u := range s.rates.SetClassRate(name, rate) {
 		s.reschedule(u)
 	}
+	// One event for the whole class (Node == -1), not one per member.
+	s.bus.EmitRateChange(-1, name, rate, s.now)
 }
 
 func (s *Session) reschedule(u int) {
@@ -464,50 +500,4 @@ func Run(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) Result {
 		cfg.MaxEvents = 0
 	}
 	return New(g, p, r, cfg).Run()
-}
-
-// deltaFiller owns the session's reusable sim.RoundDelta. It mirrors the
-// sim package's private delta state: the delta type is shared so every
-// delta consumer (metrics trajectories, AoI tracking) works unchanged on
-// either runtime.
-type deltaFiller struct {
-	d        sim.RoundDelta
-	observer func(g *graph.Undirected, d *sim.RoundDelta)
-}
-
-func newDeltaFiller(n int, observer func(g *graph.Undirected, d *sim.RoundDelta)) *deltaFiller {
-	return &deltaFiller{
-		d:        sim.RoundDelta{DegreeInc: make([]int32, n)},
-		observer: observer,
-	}
-}
-
-// emit fills the delta from the round's accepted edges and invokes the
-// observer, if any. Steady-state emits allocate nothing once the slices
-// are warm.
-func (df *deltaFiller) emit(round int, g *graph.Undirected, accepted []graph.Edge) {
-	d := &df.d
-	if d.MissingDegree == nil {
-		d.MissingDegree = g.MissingDegree
-	}
-	for _, u := range d.Touched {
-		d.DegreeInc[u] = 0
-	}
-	d.Touched = d.Touched[:0]
-	d.NewEdges = append(d.NewEdges[:0], accepted...)
-	for _, e := range accepted {
-		if d.DegreeInc[e.U] == 0 {
-			d.Touched = append(d.Touched, int32(e.U))
-		}
-		d.DegreeInc[e.U]++
-		if d.DegreeInc[e.V] == 0 {
-			d.Touched = append(d.Touched, int32(e.V))
-		}
-		d.DegreeInc[e.V]++
-	}
-	d.Round = round
-	d.EdgesRemaining = g.MissingEdges()
-	if df.observer != nil {
-		df.observer(g, d)
-	}
 }

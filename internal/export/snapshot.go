@@ -1,0 +1,88 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gossipdisc/internal/graph"
+)
+
+// SnapshotOptions controls topology snapshots.
+type SnapshotOptions struct {
+	// MaxNodes caps the snapshot to the first MaxNodes node IDs (0 means no
+	// cap). Rendering a million-node contact graph is never useful; a capped
+	// prefix is — the cap and the true size are noted in a comment so a
+	// truncated snapshot is never mistaken for the whole graph.
+	MaxNodes int
+}
+
+// snapshotEdges collects the edges among the first limit nodes in sorted
+// (u, v) order, independent of the graph backend's iteration order.
+func snapshotEdges(g *graph.Undirected, limit int) []graph.Edge {
+	var edges []graph.Edge
+	for u := 0; u < limit; u++ {
+		for i, du := 0, g.Degree(u); i < du; i++ {
+			if v := g.Neighbor(u, i); v > u && v < limit {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+func snapshotLimit(g *graph.Undirected, opt SnapshotOptions) int {
+	limit := g.N()
+	if opt.MaxNodes > 0 && opt.MaxNodes < limit {
+		limit = opt.MaxNodes
+	}
+	return limit
+}
+
+// WriteDOT writes the contact graph as a Graphviz DOT document. Output is
+// deterministic: nodes ascending, edges in sorted (u, v) order.
+func WriteDOT(w io.Writer, g *graph.Undirected, opt SnapshotOptions) error {
+	limit := snapshotLimit(g, opt)
+	cw := &countWriter{w: w}
+	fmt.Fprintf(cw, "graph gossip {\n")
+	if limit < g.N() {
+		fmt.Fprintf(cw, "  // showing %d of %d nodes\n", limit, g.N())
+	}
+	fmt.Fprintf(cw, "  layout=sfdp;\n  node [shape=point];\n")
+	for u := 0; u < limit; u++ {
+		if g.Degree(u) == 0 {
+			fmt.Fprintf(cw, "  %d;\n", u)
+		}
+	}
+	for _, e := range snapshotEdges(g, limit) {
+		fmt.Fprintf(cw, "  %d -- %d;\n", e.U, e.V)
+	}
+	fmt.Fprintf(cw, "}\n")
+	return cw.err
+}
+
+// WriteMermaid writes the contact graph as a Mermaid graph block, ready to
+// paste into Markdown. Output is deterministic, as WriteDOT.
+func WriteMermaid(w io.Writer, g *graph.Undirected, opt SnapshotOptions) error {
+	limit := snapshotLimit(g, opt)
+	cw := &countWriter{w: w}
+	fmt.Fprintf(cw, "graph LR\n")
+	if limit < g.N() {
+		fmt.Fprintf(cw, "  %%%% showing %d of %d nodes\n", limit, g.N())
+	}
+	for u := 0; u < limit; u++ {
+		if g.Degree(u) == 0 {
+			fmt.Fprintf(cw, "  n%d\n", u)
+		}
+	}
+	for _, e := range snapshotEdges(g, limit) {
+		fmt.Fprintf(cw, "  n%d --- n%d\n", e.U, e.V)
+	}
+	return cw.err
+}

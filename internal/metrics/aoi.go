@@ -41,8 +41,7 @@ type AoITrajectory struct {
 	Every   int
 	Samples []AoISample
 
-	pendingSample AoISample
-	havePending   bool
+	rec recorder[AoISample]
 
 	inited bool
 	last   []float64 // per-node last-update time (0 = never)
@@ -80,25 +79,13 @@ func (t *AoITrajectory) ObserveDelta(g *graph.Undirected, d *sim.RoundDelta) {
 		s.MeanAge = now - t.sum/float64(n)
 		s.MaxAge = now - t.minLast()
 	}
-	every := t.Every
-	if every <= 0 {
-		every = 1
-	}
-	if d.Round%every == 0 || d.EdgesRemaining == 0 {
-		t.Samples = append(t.Samples, s)
-		t.havePending = false
-		return
-	}
-	t.pendingSample, t.havePending = s, true
+	t.rec.observe(&t.Samples, t.Every, d.Round, d.EdgesRemaining == 0, s)
 }
 
 // Finalize appends the last observed round if subsampling skipped it. It is
 // idempotent.
 func (t *AoITrajectory) Finalize() {
-	if t.havePending {
-		t.havePending = false
-		t.Samples = append(t.Samples, t.pendingSample)
-	}
+	t.rec.finalize(&t.Samples)
 }
 
 // Age returns node u's age as of the last observed round (its whole
@@ -112,8 +99,8 @@ func (t *AoITrajectory) Age(u int) float64 {
 }
 
 func (t *AoITrajectory) lastObserved() float64 {
-	if t.havePending {
-		return float64(t.pendingSample.Round)
+	if t.rec.have {
+		return float64(t.rec.pending.Round)
 	}
 	if len(t.Samples) > 0 {
 		return float64(t.Samples[len(t.Samples)-1].Round)

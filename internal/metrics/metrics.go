@@ -76,11 +76,11 @@ type Trajectory struct {
 	// Pending final round (see Finalize). In snapshot mode the graph
 	// pointer is retained and summarized lazily — it is the live run graph,
 	// so at Finalize time it holds exactly the state of the last observed
-	// round. In delta mode the snapshot is materialized immediately (O(1)).
+	// round. In delta mode the snapshot is materialized immediately (O(1))
+	// and held by the shared recorder.
 	pendingRound int
 	pendingG     *graph.Undirected
-	pendingSnap  Snapshot
-	havePending  bool
+	rec          recorder[Snapshot]
 
 	// Incremental state (delta mode only).
 	inited bool
@@ -91,14 +91,17 @@ type Trajectory struct {
 	hist   []int32 // hist[d] = number of nodes with degree d
 }
 
-// Observe implements the sim observer signature (snapshot mode).
+// Observe implements the sim observer signature (snapshot mode). Skipped
+// rounds are held as a graph pointer, not a snapshot, so subsampled rounds
+// cost nothing until Finalize — this lazy path deliberately bypasses the
+// shared recorder.
 func (t *Trajectory) Observe(round int, g *graph.Undirected) {
 	if round%t.every() == 0 || g.IsComplete() {
 		t.Snapshots = append(t.Snapshots, Take(round, g))
-		t.havePending = false
+		t.pendingG, t.rec.have = nil, false
 		return
 	}
-	t.pendingRound, t.pendingG, t.havePending = round, g, true
+	t.pendingRound, t.pendingG, t.rec.have = round, g, true
 }
 
 // ObserveDelta implements the sim delta observer signature (delta mode). It
@@ -134,12 +137,7 @@ func (t *Trajectory) ObserveDelta(g *graph.Undirected, d *sim.RoundDelta) {
 		MinDegree: t.minDeg,
 		MaxDegree: t.maxDeg,
 	}
-	if d.Round%t.every() == 0 || d.EdgesRemaining == 0 {
-		t.Snapshots = append(t.Snapshots, snap)
-		t.havePending = false
-		return
-	}
-	t.pendingSnap, t.pendingG, t.havePending = snap, nil, true
+	t.rec.observe(&t.Snapshots, t.Every, d.Round, d.EdgesRemaining == 0, snap)
 }
 
 // init seeds the incremental state from the graph as of the *first emitted
@@ -184,16 +182,12 @@ func (t *Trajectory) every() int {
 // reusing it for another run. Delta mode materializes pending snapshots
 // eagerly and has no such constraint.
 func (t *Trajectory) Finalize() {
-	if !t.havePending {
-		return
-	}
-	t.havePending = false
-	if t.pendingG != nil {
+	if t.pendingG != nil && t.rec.have {
 		t.Snapshots = append(t.Snapshots, Take(t.pendingRound, t.pendingG))
-		t.pendingG = nil
+		t.pendingG, t.rec.have = nil, false
 		return
 	}
-	t.Snapshots = append(t.Snapshots, t.pendingSnap)
+	t.rec.finalize(&t.Snapshots)
 }
 
 // DegreeHistogram returns the current degree histogram maintained in delta
@@ -306,8 +300,7 @@ type DirectedTrajectory struct {
 	Every     int
 	Snapshots []DirectedSnapshot
 
-	pendingSnap DirectedSnapshot
-	havePending bool
+	rec recorder[DirectedSnapshot]
 
 	// Incremental arc count (delta mode only).
 	inited bool
@@ -334,23 +327,11 @@ func (t *DirectedTrajectory) ObserveDelta(g *graph.Directed, d *sim.DirectedRoun
 }
 
 func (t *DirectedTrajectory) record(s DirectedSnapshot, terminal bool) {
-	every := t.Every
-	if every <= 0 {
-		every = 1
-	}
-	if s.Round%every == 0 || terminal {
-		t.Snapshots = append(t.Snapshots, s)
-		t.havePending = false
-		return
-	}
-	t.pendingSnap, t.havePending = s, true
+	t.rec.observe(&t.Snapshots, t.Every, s.Round, terminal, s)
 }
 
 // Finalize appends the last observed round if subsampling skipped it. It is
 // idempotent.
 func (t *DirectedTrajectory) Finalize() {
-	if t.havePending {
-		t.havePending = false
-		t.Snapshots = append(t.Snapshots, t.pendingSnap)
-	}
+	t.rec.finalize(&t.Snapshots)
 }

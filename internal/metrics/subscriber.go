@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"gossipdisc/internal/stream"
+)
+
+// This file is the trajectories' bus-facing side: the shared subsampling
+// recorder and the stream.Subscriber adapters. Before the observation bus
+// (internal/stream) existed, each trajectory type carried its own copy of
+// the Every/pending/Finalize bookkeeping and callers wired ObserveDelta
+// into per-config observer fields; now the cadence logic lives in one
+// generic recorder and every trajectory can be handed straight to
+// Session.Subscribe. The ObserveDelta methods remain the public
+// delta-consuming surface — OnEvent is a kind-filtered delegation to them.
+
+// recorder owns the Every-subsampling contract shared by every trajectory
+// type: record rounds on cadence, hold the latest skipped round pending,
+// and flush it at Finalize so the series always ends at the final observed
+// round even under subsampling.
+type recorder[S any] struct {
+	pending S
+	have    bool
+}
+
+// observe appends s to dst when round is on cadence (or terminal is set),
+// otherwise holds it pending.
+func (r *recorder[S]) observe(dst *[]S, every, round int, terminal bool, s S) {
+	if every <= 0 {
+		every = 1
+	}
+	if round%every == 0 || terminal {
+		*dst = append(*dst, s)
+		r.have = false
+		return
+	}
+	r.pending, r.have = s, true
+}
+
+// finalize flushes the pending sample, if any. Idempotent.
+func (r *recorder[S]) finalize(dst *[]S) {
+	if r.have {
+		*dst = append(*dst, r.pending)
+		r.have = false
+	}
+}
+
+// OnEvent implements stream.Subscriber: round deltas feed ObserveDelta,
+// everything else is ignored. A Trajectory can therefore be attached to any
+// runtime's observation bus directly:
+//
+//	traj := &metrics.Trajectory{}
+//	sess.Subscribe(traj)
+func (t *Trajectory) OnEvent(e *stream.Event) {
+	if e.Kind == stream.KindRound {
+		t.ObserveDelta(e.Graph, e.Delta)
+	}
+}
+
+// OnEvent implements stream.Subscriber, as Trajectory.OnEvent.
+func (t *AoITrajectory) OnEvent(e *stream.Event) {
+	if e.Kind == stream.KindRound {
+		t.ObserveDelta(e.Graph, e.Delta)
+	}
+}
+
+// OnEvent implements stream.Subscriber for directed runs.
+func (t *DirectedTrajectory) OnEvent(e *stream.Event) {
+	if e.Kind == stream.KindDirectedRound {
+		t.ObserveDelta(e.Digraph, e.DirectedDelta)
+	}
+}

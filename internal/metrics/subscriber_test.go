@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"gossipdisc/internal/core"
+	"gossipdisc/internal/gen"
+	"gossipdisc/internal/graph"
+	"gossipdisc/internal/rng"
+	"gossipdisc/internal/sim"
+)
+
+// TestTrajectorySubscriberEquivalence pins that attaching trajectories
+// through Session.Subscribe records exactly what the legacy DeltaObserver
+// wiring records: OnEvent is a pure kind-filter over ObserveDelta.
+func TestTrajectorySubscriberEquivalence(t *testing.T) {
+	legacyTraj := &Trajectory{Every: 2}
+	legacyAoI := &AoITrajectory{Every: 2}
+	legacy := sim.NewSession(gen.Path(10), core.Push{}, rng.New(11), sim.Config{
+		DeltaObserver: func(g *graph.Undirected, d *sim.RoundDelta) {
+			legacyTraj.ObserveDelta(g, d)
+			legacyAoI.ObserveDelta(g, d)
+		},
+	})
+	legacyRes := legacy.Run()
+
+	busTraj := &Trajectory{Every: 2}
+	busAoI := &AoITrajectory{Every: 2}
+	bus := sim.NewSession(gen.Path(10), core.Push{}, rng.New(11), sim.Config{})
+	bus.Subscribe(busTraj)
+	bus.Subscribe(busAoI)
+	busRes := bus.Run()
+
+	if legacyRes != busRes {
+		t.Fatalf("results diverged: legacy %+v, bus %+v", legacyRes, busRes)
+	}
+	legacyTraj.Finalize()
+	busTraj.Finalize()
+	if !reflect.DeepEqual(legacyTraj.Snapshots, busTraj.Snapshots) {
+		t.Errorf("snapshots diverged:\nlegacy: %v\nbus:    %v", legacyTraj.Snapshots, busTraj.Snapshots)
+	}
+	legacyAoI.Finalize()
+	busAoI.Finalize()
+	if !reflect.DeepEqual(legacyAoI.Samples, busAoI.Samples) {
+		t.Errorf("AoI samples diverged:\nlegacy: %v\nbus:    %v", legacyAoI.Samples, busAoI.Samples)
+	}
+}
+
+// TestDirectedTrajectorySubscriber pins the directed adapter end to end.
+func TestDirectedTrajectorySubscriber(t *testing.T) {
+	legacy := &DirectedTrajectory{}
+	ls := sim.NewDirectedSession(gen.DirectedCycle(8), core.DirectedTwoHop{}, rng.New(4), sim.DirectedConfig{
+		DeltaObserver: legacy.ObserveDelta,
+	})
+	lres := ls.Run()
+
+	viaBus := &DirectedTrajectory{}
+	bs := sim.NewDirectedSession(gen.DirectedCycle(8), core.DirectedTwoHop{}, rng.New(4), sim.DirectedConfig{})
+	bs.Subscribe(viaBus)
+	bres := bs.Run()
+
+	if lres != bres {
+		t.Fatalf("results diverged: legacy %+v, bus %+v", lres, bres)
+	}
+	legacy.Finalize()
+	viaBus.Finalize()
+	if !reflect.DeepEqual(legacy.Snapshots, viaBus.Snapshots) {
+		t.Errorf("snapshots diverged:\nlegacy: %v\nbus:    %v", legacy.Snapshots, viaBus.Snapshots)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"gossipdisc/internal/rng"
+	"gossipdisc/internal/stream"
 )
 
 // Kind tags the protocol meaning of a message.
@@ -149,6 +150,13 @@ type Network struct {
 	pool    *handlerPool
 	stats   Stats
 	idBits  int
+
+	// Observation bus: a KindWireRound event with the cumulative counters
+	// fires at the end of every executed round. Publishing happens after
+	// all routing and touches no generator stream, so a subscribed wire is
+	// bit-identical to a silent one. wireStats is the reused event payload.
+	bus       stream.Bus
+	wireStats stream.WireStats
 }
 
 // New returns a network of n nodes. It panics on a malformed Config: a
@@ -204,6 +212,13 @@ func (nw *Network) IDBits() int { return nw.idBits }
 // Down reports whether node u is currently crashed by the scenario (as of
 // the last executed round).
 func (nw *Network) Down(u int) bool { return nw.down[u] }
+
+// Subscribe attaches sub to the network's observation bus: a KindWireRound
+// event with the cumulative traffic and impairment counters fires at the
+// end of every Round, on the calling goroutine. Subscribing does not
+// perturb the wire — publication draws no randomness and runs after all
+// routing. The event payload is reused across rounds; copy it if retained.
+func (nw *Network) Subscribe(sub stream.Subscriber) { nw.bus.Subscribe(sub) }
 
 // Close releases the persistent handler pool. Rounds executed after Close
 // panic; Close is idempotent.
@@ -261,6 +276,22 @@ func (nw *Network) Round(handlers []Handler) {
 			}
 			nw.routeImpaired(round, m)
 		}
+	}
+
+	if nw.bus.Active() {
+		nw.wireStats = stream.WireStats{
+			Rounds:         nw.stats.Rounds,
+			Sent:           nw.stats.Sent,
+			Dropped:        nw.stats.Dropped,
+			Delivered:      nw.stats.Delivered,
+			IDBits:         nw.stats.IDBits,
+			PartitionDrops: nw.stats.PartitionDrops,
+			CrashDrops:     nw.stats.CrashDrops,
+			Delayed:        nw.stats.Delayed,
+			Duplicated:     nw.stats.Duplicated,
+			Reordered:      nw.stats.Reordered,
+		}
+		nw.bus.EmitWireRound(&nw.wireStats, float64(round))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
+	"gossipdisc/internal/stream"
 )
 
 // This file implements an asynchronous scheduler ablation. The paper's
@@ -60,6 +61,10 @@ type AsyncConfig struct {
 	// Config.DeltaObserver, with RoundDelta.Round counting parallel rounds.
 	// A final partial round, if any, is emitted before the run finishes.
 	// The delta and its slices are reused; copy anything retained.
+	//
+	// Deprecated: a thin adapter over the session's observation bus (see
+	// Config.DeltaObserver); new consumers should attach through
+	// AsyncSession.Subscribe.
 	DeltaObserver func(g *graph.Undirected, d *RoundDelta)
 }
 
@@ -82,7 +87,11 @@ type AsyncSession struct {
 
 	accepted []graph.Edge
 	propose  func(a, b int)
-	ds       *deltaState
+
+	// Observation bus and delta state, mirroring Session: the legacy
+	// AsyncConfig.DeltaObserver is subscribed first at construction.
+	bus stream.Bus
+	ds  *deltaState
 }
 
 // NewAsyncSession constructs a resumable asynchronous session over g.
@@ -108,9 +117,21 @@ func NewAsyncSession(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Async
 		done:     done,
 	}
 	if cfg.DeltaObserver != nil {
-		s.ds = newDeltaState(n, cfg.DeltaObserver)
+		s.Subscribe(stream.RoundObserver(cfg.DeltaObserver))
 	}
 	return s
+}
+
+// Subscribe attaches sub to the session's observation bus: a KindRound
+// event fires after every completed parallel round (n ticks), plus the
+// final partial round at termination. Attaching subscribers does not
+// perturb the run; payloads are reused across rounds — copy anything
+// retained.
+func (s *AsyncSession) Subscribe(sub stream.Subscriber) {
+	s.bus.Subscribe(sub)
+	if s.ds == nil {
+		s.ds = newDeltaState(s.n, &s.bus)
+	}
 }
 
 func (s *AsyncSession) start() {
@@ -202,14 +223,14 @@ func (s *AsyncSession) step() bool {
 // its slices are reused across rounds — copy anything retained.
 func (s *AsyncSession) Step() (d *RoundDelta, ok bool) {
 	if s.ds == nil {
-		s.ds = newDeltaState(s.n, nil)
+		s.ds = newDeltaState(s.n, &s.bus)
 	}
 	before := s.res.Ticks
 	ok = s.step()
 	if s.res.Ticks == before {
 		return nil, false
 	}
-	return &s.ds.d, ok
+	return s.ds.d(), ok
 }
 
 // Run drives the session to the Done predicate or the tick budget.

@@ -2,201 +2,86 @@ package sim
 
 import (
 	"gossipdisc/internal/graph"
+	"gossipdisc/internal/stream"
 )
 
-// This file implements the streaming delta observer pipeline. The commit
-// path already knows exactly which proposals survived a round — the grouped
-// graph commits return the accepted list — so instead of forcing observers
-// to re-scan the graph (O(n + m) per round), the engines can emit the
-// round's *changes* directly: the new edges, the per-node degree increments
-// they imply, and the O(1) edges-remaining counter. Incremental consumers
-// (metrics.Trajectory and friends) rebuild any snapshot quantity from this
-// stream without ever touching the graph.
+// This file wires the engines' streaming delta pipeline onto the
+// runtime-agnostic observation bus in internal/stream. The delta payload
+// types and the fill logic live there now — shared with the event-driven
+// runtime and every bus consumer — and are aliased here under their
+// historical names so existing consumers compile unchanged. What remains
+// in this package is the per-session glue: a deltaState couples the shared
+// accumulator with the session's bus and preserves the exact fill/notify
+// order the engines always had (commit-derived fields first, session-level
+// membership fields next, publish last).
 //
-// Determinism: a delta stream is a pure function of (graph, process, root
-// generator, engine family). Under the sharded engine the accepted list is
-// produced by committing the concatenated shard buffers in shard order
-// through one grouped commit, so the stream is bit-identical for every
-// Workers >= 1 and any GOMAXPROCS — the same contract the Result obeys. The
-// Workers == 0 engine consumes a different generator stream, so its deltas
-// describe a different (but equally deterministic) trajectory.
+// Determinism is unchanged by the bus: dispatch is synchronous, in
+// subscription order, draws no randomness, and allocates nothing, so the
+// delta stream is bit-identical whether zero, one, or many subscribers are
+// attached (TestBusEquivalence* pins this against the fnv delta-stream
+// hash for every engine family and worker count).
 
 // RoundDelta describes everything that changed in one committed synchronous
-// round of an undirected run. The engine reuses the delta and its slices
-// across rounds: observers must copy anything they retain.
-type RoundDelta struct {
-	// Round is the 1-based round number, matching Observer's argument.
-	Round int
-	// NewEdges lists the edges inserted this round, normalized U < V, in
-	// deterministic commit order. For membership-mutated sessions, edges
-	// injected between steps via Session.AddEdge lead the list, so the
-	// stream accounts for every insertion the graph saw.
-	NewEdges []graph.Edge
-	// Touched lists the nodes whose degree changed this round, in first-
-	// touch order of NewEdges.
-	Touched []int32
-	// DegreeInc is indexed by node: DegreeInc[u] is u's degree increment
-	// this round (nonzero exactly for the nodes in Touched).
-	DegreeInc []int32
-	// EdgesRemaining is the number of node pairs still missing after the
-	// commit — 0 exactly when the graph is complete. For sessions with
-	// membership tracking enabled it counts only pairs of current members
-	// (matching Session.EdgesRemaining): pairs involving departed nodes
-	// are not outstanding work.
-	EdgesRemaining int
-	// MissingDegree reports, in O(1), how many nodes u is not yet adjacent
-	// to (excluding u itself) — the per-node complement view, bound to the
-	// run's live graph at the first emitted round. Like the graph the
-	// observer receives, it reflects the post-commit state.
-	MissingDegree func(u int) int
-	// Joined / Left list the membership events applied through
-	// Session.InsertNode / Session.RemoveNode since the previous committed
-	// round, in application order. They are empty unless the run is a
-	// Session with membership tracking enabled (see Session.TrackMembership).
-	Joined []int32
-	Left   []int32
-	// Members and MemberEdges mirror the session's incremental coverage
-	// counts after the commit: the current member count and the number of
-	// edges joining two members. Both are 0 when membership tracking is off.
-	Members     int
-	MemberEdges int
-	// ActiveWorkers is the worker count that executed this round's act
-	// phase — schedule telemetry, most useful for watching a WorkersAuto
-	// session adapt. It is deliberately OUTSIDE the determinism contract
-	// (every other field is bit-identical for every Workers >= 1; this one
-	// describes the schedule itself) and is 0 under the sequential,
-	// eager, and asynchronous engines.
-	ActiveWorkers int
-}
+// round of an undirected run. It is an alias of stream.RoundDelta — see
+// that type for the field contract; the engine reuses the delta and its
+// slices across rounds, so observers must copy anything they retain.
+type RoundDelta = stream.RoundDelta
 
-// DirectedRoundDelta is the directed counterpart of RoundDelta. As there,
-// the engine reuses the delta and its slices across rounds.
-type DirectedRoundDelta struct {
-	// Round is the 1-based round number.
-	Round int
-	// NewArcs lists the arcs inserted this round, in deterministic commit
-	// order.
-	NewArcs []graph.Arc
-	// OutTouched / OutDegreeInc describe out-degree increments, exactly as
-	// RoundDelta.Touched / DegreeInc describe undirected degrees.
-	OutTouched   []int32
-	OutDegreeInc []int32
-	// InTouched / InDegreeInc describe in-degree increments.
-	InTouched   []int32
-	InDegreeInc []int32
-	// ClosureArcsRemaining is the number of arcs of the initial graph's
-	// transitive closure still missing after the commit — 0 exactly at
-	// termination. It is the engine's own O(1) progress counter.
-	ClosureArcsRemaining int
-	// MissingClosureDegree reports, in O(1), how many arcs of the initial
-	// graph's transitive closure node u is still missing toward — the
-	// per-node progress counter the directed dense phase samples from. It
-	// is bound to the emitting session at the first emitted round and
-	// reflects the post-commit state.
-	MissingClosureDegree func(u int) int
-	// ActiveWorkers is the worker count that executed this round's act
-	// phase — schedule telemetry outside the determinism contract, exactly
-	// as RoundDelta.ActiveWorkers. 0 under the sequential engine.
-	ActiveWorkers int
-}
+// DirectedRoundDelta is the directed counterpart of RoundDelta, aliasing
+// stream.DirectedRoundDelta.
+type DirectedRoundDelta = stream.DirectedRoundDelta
 
-// deltaState owns an undirected run's reusable RoundDelta. It is allocated
-// only when Config.DeltaObserver is set.
+// deltaState couples an undirected run's reusable delta accumulator with
+// the bus it publishes on. It is allocated when the session has (or gains)
+// any reason to fill deltas: a subscriber on the bus, or a Step caller.
 type deltaState struct {
-	d        RoundDelta
-	observer func(g *graph.Undirected, d *RoundDelta)
+	acc *stream.DeltaAccumulator
+	bus *stream.Bus
 }
 
-func newDeltaState(n int, observer func(g *graph.Undirected, d *RoundDelta)) *deltaState {
-	return &deltaState{
-		d:        RoundDelta{DegreeInc: make([]int32, n)},
-		observer: observer,
-	}
+func newDeltaState(n int, bus *stream.Bus) *deltaState {
+	return &deltaState{acc: stream.NewDeltaAccumulator(n), bus: bus}
 }
 
-// emit fills the delta from the round's accepted edges and invokes the
-// observer. Steady-state emits allocate nothing once the slices are warm.
+// d returns the session-owned delta the accumulator maintains.
+func (ds *deltaState) d() *RoundDelta { return &ds.acc.D }
+
+// emit fills the delta from the round's accepted edges and publishes it.
+// Steady-state emits allocate nothing once the slices are warm.
 func (ds *deltaState) emit(round int, g *graph.Undirected, accepted []graph.Edge) {
 	ds.fill(round, g, accepted)
 	ds.notify(g)
 }
 
-// fill populates the delta's commit-derived fields without notifying the
-// observer; sessions add their membership fields between fill and notify.
+// fill populates the delta's commit-derived fields without publishing;
+// sessions add their membership fields between fill and notify.
 func (ds *deltaState) fill(round int, g *graph.Undirected, accepted []graph.Edge) {
-	d := &ds.d
-	if d.MissingDegree == nil {
-		d.MissingDegree = g.MissingDegree // one-time bind; steady-state fills stay alloc-free
-	}
-	for _, u := range d.Touched {
-		d.DegreeInc[u] = 0
-	}
-	d.Touched = d.Touched[:0]
-	d.NewEdges = append(d.NewEdges[:0], accepted...)
-	for _, e := range accepted {
-		if d.DegreeInc[e.U] == 0 {
-			d.Touched = append(d.Touched, int32(e.U))
-		}
-		d.DegreeInc[e.U]++
-		if d.DegreeInc[e.V] == 0 {
-			d.Touched = append(d.Touched, int32(e.V))
-		}
-		d.DegreeInc[e.V]++
-	}
-	d.Round = round
-	d.EdgesRemaining = g.MissingEdges()
+	ds.acc.Fill(round, g, accepted)
 }
 
-// notify invokes the observer, if any (a Session created by Step alone has
-// a delta state but no observer).
+// notify publishes the filled delta on the bus (a no-op when nothing is
+// subscribed — a Session created by Step alone has a delta state but no
+// subscribers).
 func (ds *deltaState) notify(g *graph.Undirected) {
-	if ds.observer != nil {
-		ds.observer(g, &ds.d)
-	}
+	ds.bus.EmitRound(g, &ds.acc.D, float64(ds.acc.D.Round))
 }
 
-// directedDeltaState owns a directed run's reusable DirectedRoundDelta.
+// directedDeltaState is the directed counterpart of deltaState.
 type directedDeltaState struct {
-	d        DirectedRoundDelta
-	observer func(g *graph.Directed, d *DirectedRoundDelta)
+	acc *stream.DirectedDeltaAccumulator
+	bus *stream.Bus
 }
 
-func newDirectedDeltaState(n int, observer func(g *graph.Directed, d *DirectedRoundDelta)) *directedDeltaState {
-	return &directedDeltaState{
-		d: DirectedRoundDelta{
-			OutDegreeInc: make([]int32, n),
-			InDegreeInc:  make([]int32, n),
-		},
-		observer: observer,
-	}
+func newDirectedDeltaState(n int, bus *stream.Bus) *directedDeltaState {
+	return &directedDeltaState{acc: stream.NewDirectedDeltaAccumulator(n), bus: bus}
 }
+
+// d returns the session-owned delta the accumulator maintains.
+func (ds *directedDeltaState) d() *DirectedRoundDelta { return &ds.acc.D }
 
 // emit fills the delta from the round's accepted arcs and the engine's
-// missing-closure counter, then invokes the observer.
+// missing-closure counter, then publishes it.
 func (ds *directedDeltaState) emit(round int, g *graph.Directed, accepted []graph.Arc, closureRemaining int) {
-	d := &ds.d
-	for _, u := range d.OutTouched {
-		d.OutDegreeInc[u] = 0
-	}
-	for _, v := range d.InTouched {
-		d.InDegreeInc[v] = 0
-	}
-	d.OutTouched = d.OutTouched[:0]
-	d.InTouched = d.InTouched[:0]
-	d.NewArcs = append(d.NewArcs[:0], accepted...)
-	for _, a := range accepted {
-		if d.OutDegreeInc[a.U] == 0 {
-			d.OutTouched = append(d.OutTouched, int32(a.U))
-		}
-		d.OutDegreeInc[a.U]++
-		if d.InDegreeInc[a.V] == 0 {
-			d.InTouched = append(d.InTouched, int32(a.V))
-		}
-		d.InDegreeInc[a.V]++
-	}
-	d.Round = round
-	d.ClosureArcsRemaining = closureRemaining
-	if ds.observer != nil {
-		ds.observer(g, d)
-	}
+	ds.acc.Fill(round, accepted, closureRemaining)
+	ds.bus.EmitDirectedRound(g, &ds.acc.D, float64(round))
 }

@@ -9,6 +9,7 @@ import (
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
+	"gossipdisc/internal/stream"
 )
 
 // DirectedSession is the directed counterpart of Session: a resumable run
@@ -23,12 +24,11 @@ type DirectedSession struct {
 	p core.DirectedProcess
 	r *rng.Rand
 
-	mode          CommitMode
-	workers       int
-	maxRounds     int
-	done          func(*graph.Directed) bool // nil ⇒ closure reached
-	observer      func(round int, g *graph.Directed)
-	deltaObserver func(g *graph.Directed, d *DirectedRoundDelta)
+	mode      CommitMode
+	workers   int
+	maxRounds int
+	done      func(*graph.Directed) bool // nil ⇒ closure reached
+	observer  func(round int, g *graph.Directed)
 
 	started  bool
 	finished bool
@@ -60,7 +60,11 @@ type DirectedSession struct {
 	buf      []graph.Arc
 	accepted []graph.Arc
 
-	ds *directedDeltaState
+	// Observation bus and delta state, mirroring Session: the legacy
+	// DirectedConfig.DeltaObserver is subscribed first at construction;
+	// Subscribe attaches further consumers.
+	bus stream.Bus
+	ds  *directedDeltaState
 }
 
 // NewDirectedSession constructs a resumable directed session over g. The
@@ -78,15 +82,14 @@ func NewDirectedSession(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, 
 		maxRounds = math.MaxInt
 	}
 	s := &DirectedSession{
-		g:             g,
-		p:             p,
-		r:             r,
-		mode:          cfg.Mode,
-		workers:       cfg.Workers,
-		maxRounds:     maxRounds,
-		done:          cfg.Done,
-		observer:      cfg.Observer,
-		deltaObserver: cfg.DeltaObserver,
+		g:         g,
+		p:         p,
+		r:         r,
+		mode:      cfg.Mode,
+		workers:   cfg.Workers,
+		maxRounds: maxRounds,
+		done:      cfg.Done,
+		observer:  cfg.Observer,
 	}
 	if cfg.DensePhase < 0 || cfg.DensePhase > 1 {
 		panic(fmt.Sprintf("sim: DensePhase %v outside [0, 1]", cfg.DensePhase))
@@ -104,10 +107,30 @@ func NewDirectedSession(g *graph.Directed, p core.DirectedProcess, r *rng.Rand, 
 		s.denseThreshold = int(cfg.DensePhase * float64(s.res.TargetArcs))
 	}
 	if cfg.DeltaObserver != nil {
-		s.ds = newDirectedDeltaState(g.N(), cfg.DeltaObserver)
-		s.ds.d.MissingClosureDegree = s.MissingClosureDegree
+		// The legacy observer rides the bus as its first subscriber, exactly
+		// as Session treats Config.DeltaObserver.
+		s.Subscribe(stream.DirectedRoundObserver(cfg.DeltaObserver))
 	}
 	return s
+}
+
+// Subscribe attaches sub to the session's observation bus: a
+// KindDirectedRound event fires after every committed round, in
+// subscription order on the stepping goroutine. Attaching subscribers does
+// not perturb the run (TestBusEquivalenceDirected); payloads are reused
+// across rounds — copy anything retained.
+func (s *DirectedSession) Subscribe(sub stream.Subscriber) {
+	s.bus.Subscribe(sub)
+	s.ensureDeltaState()
+}
+
+// ensureDeltaState allocates the delta state and performs the one-time
+// MissingClosureDegree bind.
+func (s *DirectedSession) ensureDeltaState() {
+	if s.ds == nil {
+		s.ds = newDirectedDeltaState(s.g.N(), &s.bus)
+		s.ds.d().MissingClosureDegree = s.MissingClosureDegree
+	}
 }
 
 // converged evaluates the termination predicate: the Done override when
@@ -247,7 +270,7 @@ func (s *DirectedSession) step() bool {
 	s.res.Rounds = round
 
 	if s.ds != nil {
-		s.ds.d.ActiveWorkers = actWorkers
+		s.ds.d().ActiveWorkers = actWorkers
 		s.ds.emit(round, s.g, s.accepted, s.missing)
 	}
 	if s.observer != nil {
@@ -270,16 +293,13 @@ func (s *DirectedSession) step() bool {
 // ok == false; a Step after that returns (nil, false). The delta and its
 // slices are reused across rounds — copy anything retained.
 func (s *DirectedSession) Step() (d *DirectedRoundDelta, ok bool) {
-	if s.ds == nil {
-		s.ds = newDirectedDeltaState(s.g.N(), s.deltaObserver)
-		s.ds.d.MissingClosureDegree = s.MissingClosureDegree
-	}
+	s.ensureDeltaState()
 	before := s.res.Rounds
 	ok = s.step()
 	if s.res.Rounds == before {
 		return nil, false
 	}
-	return &s.ds.d, ok
+	return s.ds.d(), ok
 }
 
 // Run drives the session to termination or the round budget and returns

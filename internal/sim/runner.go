@@ -230,6 +230,12 @@ type Config struct {
 	// across rounds — copy anything retained. See delta.go for the
 	// determinism contract; incremental consumers such as
 	// metrics.Trajectory.ObserveDelta plug in directly.
+	//
+	// Deprecated: this field is a thin adapter over the session's
+	// observation bus — it is subscribed (first) via stream.RoundObserver
+	// at construction. New consumers should implement stream.Subscriber
+	// and attach through Session.Subscribe, which also carries membership
+	// events and works identically on every runtime.
 	DeltaObserver func(g *graph.Undirected, d *RoundDelta)
 }
 
@@ -322,6 +328,10 @@ type DirectedConfig struct {
 	// arcs, in/out-degree increments, closure arcs remaining) after every
 	// committed round, before Observer runs. The delta and its slices are
 	// reused across rounds — copy anything retained.
+	//
+	// Deprecated: a thin adapter over the session's observation bus (see
+	// Config.DeltaObserver); new consumers should attach through
+	// DirectedSession.Subscribe.
 	DeltaObserver func(g *graph.Directed, d *DirectedRoundDelta)
 }
 

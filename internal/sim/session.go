@@ -8,6 +8,7 @@ import (
 	"gossipdisc/internal/core"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/rng"
+	"gossipdisc/internal/stream"
 )
 
 // This file implements the resumable session API — the steppable surface
@@ -57,12 +58,11 @@ type Session struct {
 	p core.Process
 	r *rng.Rand
 
-	mode          CommitMode
-	workers       int
-	maxRounds     int
-	done          func(*graph.Undirected) bool
-	observer      func(round int, g *graph.Undirected)
-	deltaObserver func(g *graph.Undirected, d *RoundDelta)
+	mode      CommitMode
+	workers   int
+	maxRounds int
+	done      func(*graph.Undirected) bool
+	observer  func(round int, g *graph.Undirected)
 
 	started  bool
 	finished bool
@@ -94,9 +94,15 @@ type Session struct {
 	buf      []graph.Edge
 	accepted []graph.Edge
 
-	// Delta state: allocated at construction when DeltaObserver is set, or
-	// lazily by the first Step call (Step always returns a filled delta).
-	ds *deltaState
+	// Observation bus and delta state. Every round publishes through bus
+	// (a cheap no-op while nothing is subscribed); the legacy
+	// Config.DeltaObserver is subscribed at construction as the first
+	// subscriber, so its callbacks keep their historical position in the
+	// round sequence. ds is allocated at construction when the bus starts
+	// active, lazily by the first Step call (Step always returns a filled
+	// delta), or by Subscribe.
+	bus stream.Bus
+	ds  *deltaState
 
 	// Membership state (nil alive ⇒ membership tracking disabled).
 	alive        []bool
@@ -151,13 +157,29 @@ func NewSession(g *graph.Undirected, p core.Process, r *rng.Rand, cfg Config) *S
 		maxRounds:      maxRounds,
 		done:           done,
 		observer:       cfg.Observer,
-		deltaObserver:  cfg.DeltaObserver,
 		denseThreshold: denseThreshold,
 	}
 	if cfg.DeltaObserver != nil {
-		s.ds = newDeltaState(g.N(), cfg.DeltaObserver)
+		// The legacy observer rides the bus as its first subscriber, so it
+		// sees every round exactly as before and anything Subscribe attaches
+		// later fires after it.
+		s.Subscribe(stream.RoundObserver(cfg.DeltaObserver))
 	}
 	return s
+}
+
+// Subscribe attaches sub to the session's observation bus. Subscribers
+// receive, in subscription order on the stepping goroutine, a KindRound
+// event after every committed round plus KindJoin / KindLeave events for
+// membership mutations applied between steps. Attaching subscribers does
+// not perturb the run: Result and the delta stream are bit-identical for
+// any subscriber count (TestBusEquivalence*). Events and their payloads are
+// reused across rounds — copy anything retained.
+func (s *Session) Subscribe(sub stream.Subscriber) {
+	s.bus.Subscribe(sub)
+	if s.ds == nil {
+		s.ds = newDeltaState(s.g.N(), &s.bus)
+	}
 }
 
 // dispatch performs the engine-family setup. It runs lazily, at the first
@@ -287,7 +309,7 @@ func (s *Session) step() bool {
 			acc = s.combined
 		}
 		s.ds.fill(round, s.g, acc)
-		d := &s.ds.d
+		d := s.ds.d()
 		d.ActiveWorkers = actWorkers
 		d.Joined = append(d.Joined[:0], s.joined...)
 		d.Left = append(d.Left[:0], s.left...)
@@ -404,14 +426,14 @@ func (s *Session) InDensePhase() bool { return s.dense }
 // steps allocate nothing once the buffers are warm.
 func (s *Session) Step() (d *RoundDelta, ok bool) {
 	if s.ds == nil {
-		s.ds = newDeltaState(s.g.N(), s.deltaObserver)
+		s.ds = newDeltaState(s.g.N(), &s.bus)
 	}
 	before := s.res.Rounds
 	ok = s.step()
 	if s.res.Rounds == before {
 		return nil, false
 	}
-	return &s.ds.d, ok
+	return s.ds.d(), ok
 }
 
 // Run drives the session to the Done predicate or the round budget and
@@ -564,6 +586,7 @@ func (s *Session) InsertNode(u int) {
 	s.members++
 	s.memberEdges += s.aliveDegree(u)
 	s.joined = append(s.joined, int32(u))
+	s.bus.EmitMembership(stream.KindJoin, s.g, u, float64(s.res.Rounds))
 	s.unfinish()
 }
 
@@ -581,6 +604,7 @@ func (s *Session) RemoveNode(u int) {
 	s.members--
 	s.memberEdges -= s.aliveDegree(u)
 	s.left = append(s.left, int32(u))
+	s.bus.EmitMembership(stream.KindLeave, s.g, u, float64(s.res.Rounds))
 	s.unfinish()
 }
 

@@ -27,6 +27,7 @@ import (
 	"gossipdisc/internal/eventsim"
 	"gossipdisc/internal/rng"
 	"gossipdisc/internal/sim"
+	"gossipdisc/internal/stream"
 )
 
 // Session types (see internal/sim/session.go for the full lifecycle,
@@ -86,6 +87,7 @@ type sessionOptions struct {
 	cfg   sim.Config
 	dcfg  sim.DirectedConfig
 	rates *RateMap
+	subs  []stream.Subscriber
 }
 
 // WithProcess selects the undirected process (default Push).
@@ -206,6 +208,16 @@ func WithDirectedDeltaObserver(fn func(g *Digraph, d *DirectedRoundDelta)) Sessi
 	return func(o *sessionOptions) { o.dcfg.DeltaObserver = fn }
 }
 
+// WithAnalyzers subscribes analyzers (or any event Subscribers — a *Health
+// pack, a Prometheus exporter, a metrics Trajectory) to the session's event
+// bus at construction, in argument order after any legacy observer options.
+// Applies to every session family; subscribers never change results (the
+// bus dispatches synchronously on the stepping goroutine and draws no
+// randomness — see DESIGN.md "Streaming analyzer bus").
+func WithAnalyzers(subs ...Subscriber) SessionOption {
+	return func(o *sessionOptions) { o.subs = append(o.subs, subs...) }
+}
+
 func applyOptions(opts []SessionOption) *sessionOptions {
 	o := &sessionOptions{
 		proc:  core.Push{},
@@ -227,14 +239,22 @@ func applyOptions(opts []SessionOption) *sessionOptions {
 // parked worker goroutines.
 func NewSession(g *Graph, opts ...SessionOption) *Session {
 	o := applyOptions(opts)
-	return sim.NewSession(g, o.proc, o.r, o.cfg)
+	s := sim.NewSession(g, o.proc, o.r, o.cfg)
+	for _, sub := range o.subs {
+		s.Subscribe(sub)
+	}
+	return s
 }
 
 // NewDirectedSession constructs a resumable directed session over g; the
 // zero-option call runs DirectedTwoHop from seed 1.
 func NewDirectedSession(g *Digraph, opts ...SessionOption) *DirectedSession {
 	o := applyOptions(opts)
-	return sim.NewDirectedSession(g, o.dproc, o.r, o.dcfg)
+	s := sim.NewDirectedSession(g, o.dproc, o.r, o.dcfg)
+	for _, sub := range o.subs {
+		s.Subscribe(sub)
+	}
+	return s
 }
 
 // NewAsyncSession constructs a resumable asynchronous session over g. Only
@@ -252,7 +272,11 @@ func NewAsyncSession(g *Graph, opts ...SessionOption) *AsyncSession {
 	} else if o.cfg.MaxRounds < 0 {
 		acfg.MaxTicks = -1
 	}
-	return sim.NewAsyncSession(g, o.proc, o.r, acfg)
+	s := sim.NewAsyncSession(g, o.proc, o.r, acfg)
+	for _, sub := range o.subs {
+		s.Subscribe(sub)
+	}
+	return s
 }
 
 // NewEventSession constructs a resumable event-driven session over g: per-
@@ -274,7 +298,11 @@ func NewEventSession(g *Graph, opts ...SessionOption) *EventSession {
 	} else if o.cfg.MaxRounds < 0 {
 		ecfg.MaxEvents = -1
 	}
-	return eventsim.New(g, o.proc, o.r, ecfg)
+	s := eventsim.New(g, o.proc, o.r, ecfg)
+	for _, sub := range o.subs {
+		s.Subscribe(sub)
+	}
+	return s
 }
 
 // WorkersAuto is the Config.Workers / DirectedConfig.Workers sentinel for
