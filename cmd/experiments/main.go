@@ -42,6 +42,7 @@ func main() {
 		backendName    = flag.String("backend", "dense", "graph row-storage backend for workload generation: dense | sparse | auto (outputs are byte-identical)")
 		sched          = flag.String("sched", "both", "async runtimes the scheduler experiments (E15) tabulate: both | tick | event")
 		ratesSpec      = flag.String("rates", "", "eventsim rate spec adding a custom-population table to E20, e.g. \"0.5,fast=8:0-15\" (resolved against the sweep's largest n)")
+		rolesSpec      = flag.String("roles", "", "role spec adding a custom-population table to E21, e.g. \"honest,byzantine=5%,selfish=10:0-47\" (resolved against the sweep's largest n)")
 		outDir         = flag.String("out", "", "also write each experiment's output to <out>/E<k>.txt (or .csv)")
 		metricsAddr    = flag.String("metrics-addr", "", "serve Prometheus text-format harness-progress metrics at this host:port while the selection runs")
 		list           = flag.Bool("list", false, "list experiments and exit")
@@ -57,7 +58,7 @@ func main() {
 
 	opts := &options{
 		workers: *workers, trialsParallel: *trialsParallel,
-		backend: *backendName, sched: *sched, rates: *ratesSpec,
+		backend: *backendName, sched: *sched, rates: *ratesSpec, roles: *rolesSpec,
 		metricsAddr: *metricsAddr,
 	}
 	if err := opts.validate(); err != nil {
@@ -100,7 +101,7 @@ func main() {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Scale: *scale, CSV: *csv,
 		Workers: engineWorkers, TrialWorkers: *trialsParallel, Backend: backend,
-		Sched: *sched, RateSpec: *ratesSpec,
+		Sched: *sched, RateSpec: *ratesSpec, RoleSpec: *rolesSpec,
 	}
 
 	var selected []experiments.Experiment

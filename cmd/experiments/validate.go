@@ -5,6 +5,7 @@ import (
 	"net"
 	"strconv"
 
+	"gossipdisc/internal/core"
 	"gossipdisc/internal/eventsim"
 	"gossipdisc/internal/graph"
 )
@@ -21,6 +22,7 @@ type options struct {
 	backend        string
 	sched          string
 	rates          string
+	roles          string
 	metricsAddr    string
 }
 
@@ -81,6 +83,11 @@ func (o *options) validate() error {
 	if o.rates != "" {
 		if err := eventsim.ValidateRateSpec(o.rates); err != nil {
 			return fmt.Errorf("-rates: %w", err)
+		}
+	}
+	if o.roles != "" {
+		if err := core.ValidateRoleSpec(o.roles); err != nil {
+			return fmt.Errorf("-roles: %w", err)
 		}
 	}
 	return validateMetricsAddr(o.metricsAddr)

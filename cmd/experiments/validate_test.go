@@ -28,6 +28,9 @@ func TestValidateOptions(t *testing.T) {
 		{"sched event", func(o *options) { o.sched = "event" }, ""},
 		{"rates default", func(o *options) { o.rates = "2" }, ""},
 		{"rates classes", func(o *options) { o.rates = "0.5,fast=8:0-15,park=0:16" }, ""},
+		{"roles default only", func(o *options) { o.roles = "silent" }, ""},
+		{"roles quantified", func(o *options) { o.roles = "honest,byzantine=5%,selfish=10:0-47" }, ""},
+		{"roles eavesdroppers", func(o *options) { o.roles = "eavesdropper=8" }, ""},
 		{"metrics addr host:port", func(o *options) { o.metricsAddr = "localhost:9090" }, ""},
 		{"metrics addr bare port", func(o *options) { o.metricsAddr = ":8080" }, ""},
 
@@ -40,6 +43,11 @@ func TestValidateOptions(t *testing.T) {
 		{"malformed rates", func(o *options) { o.rates = "fast=oops:0-3" }, "-rates"},
 		{"negative rate", func(o *options) { o.rates = "-1" }, "-rates"},
 		{"two default rates", func(o *options) { o.rates = "1,2" }, "-rates"},
+		{"roles unknown role", func(o *options) { o.roles = "wizard=2" }, "-roles"},
+		{"roles duplicate", func(o *options) { o.roles = "byzantine=1,byzantine=2" }, "-roles"},
+		{"roles two defaults", func(o *options) { o.roles = "honest,silent" }, "-roles"},
+		{"roles bad percent", func(o *options) { o.roles = "byzantine=150%" }, "-roles"},
+		{"roles bad range", func(o *options) { o.roles = "byzantine=1:9-2" }, "-roles"},
 		{"metrics addr no port", func(o *options) { o.metricsAddr = "localhost" }, "-metrics-addr"},
 		{"metrics addr port zero", func(o *options) { o.metricsAddr = ":0" }, "-metrics-addr port"},
 		{"metrics addr port too big", func(o *options) { o.metricsAddr = ":65536" }, "-metrics-addr port"},

@@ -41,6 +41,7 @@ func main() {
 		mode         = flag.String("mode", "sync", "scheduler: sync | eager | async")
 		sched        = flag.String("sched", "tick", "async runtime: tick (discretized uniform activations) | event (continuous per-node Poisson clocks; enables -rates)")
 		ratesSpec    = flag.String("rates", "", "event-runtime rate spec: \"R\" sets the default rate, \"name=R:lo-hi\" defines a class over nodes lo..hi inclusive, comma-separated (empty = uniform rate 1; requires -sched event)")
+		rolesSpec    = flag.String("roles", "", "role spec assigning per-node behaviors: \"role\" sets the default, \"role=K\" or \"role=P%\" quantifies with an optional \":lo-hi\" node range, comma-separated — e.g. \"honest,byzantine=5%,selfish=10:0-99\" (roles: honest, byzantine, selfish, silent, eavesdropper)")
 		workers      = flag.String("workers", "0", "round-engine workers: 0 = classic sequential engine, k >= 1 = sharded deterministic engine, -1 = GOMAXPROCS, auto = adaptive autoscaling")
 		roundsBudget = flag.Int("rounds", 0, "stop each trial after this many rounds even if not converged (0 = run to convergence)")
 		traceAt      = flag.Int("trace", 0, "print a min-degree trajectory snapshot every K rounds (0 = off; trial 0 is driven step-wise through the session API)")
@@ -69,7 +70,7 @@ func main() {
 		n: *n, trials: *trials, seed: *seed, workers: *workers,
 		rounds: *roundsBudget, traceAt: *traceAt, fail: *failProb, dense: *dense,
 		scenario: *scenarioPath, backend: *backendName,
-		sched: *sched, rates: *ratesSpec,
+		sched: *sched, rates: *ratesSpec, roles: *rolesSpec,
 		metricsAddr: *metricsAddr, snapshot: *snapshotFmt,
 	}
 	if err := opts.validate(); err != nil {
@@ -112,7 +113,7 @@ func main() {
 	}
 
 	if *process == "directed" {
-		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense, backend, obs)
+		runDirected(*dfamily, *n, *trials, *seed, commit, engineWorkers, *roundsBudget, *dense, *rolesSpec, backend, obs)
 		return
 	}
 
@@ -126,7 +127,19 @@ func main() {
 		proc = core.PushPull{}
 	}
 	if *failProb > 0 {
-		proc = core.Faulty{Inner: proc, FailProb: *failProb}
+		proc = core.Wrap(proc, core.Fail(*failProb))
+	}
+	if *rolesSpec != "" {
+		// The population wraps the (possibly fault-injected) base process:
+		// honest and eavesdropper nodes run it, adversarial roles replace
+		// it. Eavesdroppers additionally arm the source-anonymity analyzer
+		// on the metrics endpoint.
+		pop, err := core.ParseRoleSpec(*rolesSpec, *n, proc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		obs.observeAnonymity(pop)
+		proc = pop
 	}
 
 	fam, err := gen.FamilyByName(*family)
@@ -372,7 +385,7 @@ func runEvent(proc core.Process, fam gen.Family, n, trials int, seed uint64, bud
 		sum, sum.Mean/stats.NLogN(fn), sum.Mean/stats.NLog2N(fn))
 }
 
-func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64, backend graph.Backend, obs *observability) {
+func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMode, workers, budget int, dense float64, roles string, backend graph.Backend, obs *observability) {
 	fam, err := gen.DirectedFamilyByName(family)
 	if err != nil {
 		fatalf("%v", err)
@@ -380,9 +393,17 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 	if n < fam.MinN {
 		fatalf("directed family %q needs n >= %d", fam.Name, fam.MinN)
 	}
+	var dproc core.DirectedProcess = core.DirectedTwoHop{}
+	if roles != "" {
+		dpop, err := core.ParseDirectedRoleSpec(roles, n, dproc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		dproc = dpop
+	}
 	root := rng.New(seed)
 	tbl := trace.NewTable(
-		fmt.Sprintf("directed-two-hop on %s, n=%d, mode=%s", fam.Name, n, commit),
+		fmt.Sprintf("%s on %s, n=%d, mode=%s", dproc.Name(), fam.Name, n, commit),
 		"trial", "rounds", "target arcs", "new arcs")
 	var rounds []float64
 	stopped := 0
@@ -392,13 +413,13 @@ func runDirected(family string, n, trials int, seed uint64, commit sim.CommitMod
 		dcfg := sim.DirectedConfig{Mode: commit, Workers: workers, MaxRounds: budget, DensePhase: dense}
 		var res sim.DirectedResult
 		if t == 0 && obs.active() {
-			sess := sim.NewDirectedSession(g, core.DirectedTwoHop{}, r, dcfg)
+			sess := sim.NewDirectedSession(g, dproc, r, dcfg)
 			obs.attach(sess.Subscribe)
 			defer obs.finish(nil)
 			res = sess.Run()
 			sess.Close()
 		} else {
-			res = sim.RunDirected(g, core.DirectedTwoHop{}, r, dcfg)
+			res = sim.RunDirected(g, dproc, r, dcfg)
 		}
 		if !res.Converged && budget == 0 {
 			fatalf("trial %d did not converge", t)

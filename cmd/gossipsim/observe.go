@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"gossipdisc/internal/analyze"
+	"gossipdisc/internal/core"
 	"gossipdisc/internal/export"
 	"gossipdisc/internal/graph"
 	"gossipdisc/internal/stream"
@@ -21,6 +22,7 @@ import (
 type observability struct {
 	health   *analyze.Health
 	exp      *export.Prometheus
+	anon     *analyze.Anonymity
 	snapshot string // "dot", "mermaid", or "" (off)
 }
 
@@ -53,6 +55,31 @@ func newObservability(metricsAddr, snapshot string) *observability {
 // subscribers can attach.
 func (o *observability) active() bool { return o != nil }
 
+// observeAnonymity arms the source-anonymity analyzer when the metrics
+// endpoint is live and the population carries an eavesdropper coalition:
+// the coalition watches the rumor entering at node 0 and the
+// gossip_anonymity_* gauges expose its posterior. Inert otherwise.
+func (o *observability) observeAnonymity(pop *core.Population) {
+	if o == nil || o.exp == nil {
+		return
+	}
+	defined := false
+	for _, role := range pop.Roles() {
+		if role == "eavesdropper" {
+			defined = true
+		}
+	}
+	if !defined {
+		return
+	}
+	coalition := pop.Nodes("eavesdropper")
+	if len(coalition) == 0 {
+		return
+	}
+	o.anon = analyze.NewAnonymity(0, coalition)
+	o.exp.AttachAnonymity(o.anon)
+}
+
 // attach subscribes the active surfaces through any session's Subscribe
 // method (they all share the signature).
 func (o *observability) attach(subscribe func(stream.Subscriber)) {
@@ -61,6 +88,9 @@ func (o *observability) attach(subscribe func(stream.Subscriber)) {
 	}
 	if o.health != nil {
 		subscribe(o.health)
+	}
+	if o.anon != nil {
+		subscribe(o.anon)
 	}
 	if o.exp != nil {
 		subscribe(o.exp)
@@ -74,7 +104,11 @@ func (o *observability) finish(g *graph.Undirected) {
 		return
 	}
 	if o.health != nil {
-		if fs := o.health.Findings(); len(fs) > 0 {
+		fs := o.health.Findings()
+		if o.anon != nil {
+			fs = append(fs, o.anon.Findings()...)
+		}
+		if len(fs) > 0 {
 			fmt.Println("\nhealth findings (trial 0):")
 			for _, f := range fs {
 				fmt.Printf("  %s\n", f)

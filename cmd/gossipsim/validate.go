@@ -5,6 +5,7 @@ import (
 	"net"
 	"strconv"
 
+	"gossipdisc/internal/core"
 	"gossipdisc/internal/eventsim"
 	"gossipdisc/internal/graph"
 )
@@ -33,6 +34,7 @@ type options struct {
 	backend  string
 	sched    string
 	rates    string
+	roles    string
 
 	metricsAddr string
 	snapshot    string
@@ -106,6 +108,17 @@ func (o *options) validate() error {
 		}
 		if err := eventsim.ValidateRateSpec(o.rates); err != nil {
 			return fmt.Errorf("-rates: %w", err)
+		}
+	}
+	if o.roles != "" {
+		if err := core.ValidateRoleSpec(o.roles); err != nil {
+			return fmt.Errorf("-roles: %w", err)
+		}
+		if o.dense > 0 {
+			return fmt.Errorf("-roles cannot be combined with -dense: dense rounds sample missing edges directly and bypass per-node behaviors")
+		}
+		if o.scenario != "" {
+			return fmt.Errorf("-roles cannot be combined with -scenario: the wire stack runs its own per-node protocol handlers")
 		}
 	}
 	if o.n < 1 {

@@ -101,6 +101,25 @@ func TestValidateOptions(t *testing.T) {
 		{"snapshot unknown", func(o *options) { o.snapshot = "svg" }, "-snapshot"},
 		{"snapshot directed", func(o *options) { o.snapshot = "dot"; o.process = "directed" }, "-snapshot"},
 		{"snapshot with scenario", func(o *options) { o.snapshot = "dot"; o.scenario = "chaos.json" }, "-snapshot"},
+
+		{"roles default only", func(o *options) { o.roles = "silent" }, ""},
+		{"roles quantified", func(o *options) { o.roles = "honest,byzantine=5%,selfish=10:0-99" }, ""},
+		{"roles eavesdroppers", func(o *options) { o.roles = "eavesdropper=8" }, ""},
+		{"roles with fail", func(o *options) { o.roles = "byzantine=2"; o.fail = 0.1 }, ""},
+		{"roles on directed", func(o *options) { o.roles = "byzantine=2"; o.process = "directed" }, ""},
+		{"roles on event runtime", func(o *options) {
+			o.roles = "byzantine=2"
+			o.mode = "async"
+			o.sched = "event"
+			o.rates = "1"
+		}, ""},
+		{"roles unknown role", func(o *options) { o.roles = "wizard=2" }, "-roles"},
+		{"roles duplicate", func(o *options) { o.roles = "byzantine=1,byzantine=2" }, "-roles"},
+		{"roles two defaults", func(o *options) { o.roles = "honest,silent" }, "-roles"},
+		{"roles bad percent", func(o *options) { o.roles = "byzantine=150%" }, "-roles"},
+		{"roles bad range", func(o *options) { o.roles = "byzantine=1:9-2" }, "-roles"},
+		{"roles with dense", func(o *options) { o.roles = "byzantine=2"; o.dense = 0.2 }, "-dense"},
+		{"roles with scenario", func(o *options) { o.roles = "byzantine=2"; o.scenario = "chaos.json" }, "-scenario"},
 	}
 	t.Run("worker count resolution", func(t *testing.T) {
 		o := good()

@@ -1,0 +1,113 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnonymityPriorBeforeWitnesses(t *testing.T) {
+	a := NewAnonymity(0, []int{3, 5})
+	e := newEmitter(8, a)
+	e.roundOf(edge(0, 1)) // rumor spreads, but no observer hears it
+	if got := a.Witnesses(); got != 0 {
+		t.Fatalf("witnesses = %d, want 0", got)
+	}
+	if got := a.InfectedCount(); got != 2 {
+		t.Fatalf("infected = %d, want 2", got)
+	}
+	if h := a.PosteriorEntropy(); h != math.Log2(8) {
+		t.Fatalf("prior entropy = %v, want log2(8)", h)
+	}
+	if p := a.SourceProbability(); p != 1.0/8 {
+		t.Fatalf("prior source probability = %v, want 1/8", p)
+	}
+	if r := a.SourceRank(); r != 1 {
+		t.Fatalf("prior rank = %d, want 1", r)
+	}
+	if got := a.CoalitionSize(); got != 2 {
+		t.Fatalf("coalition = %d, want 2", got)
+	}
+}
+
+func TestAnonymityPosterior(t *testing.T) {
+	a := NewAnonymity(0, []int{3, 5})
+	e := newEmitter(8, a)
+	e.roundOf(edge(0, 1))
+	e.roundOf(edge(1, 3)) // witness: 3 heard it from 1 at t=2
+	if got := a.Witnesses(); got != 1 {
+		t.Fatalf("witnesses = %d, want 1", got)
+	}
+	// Single witness blames node 1 entirely: source unsuspected.
+	if p := a.SourceProbability(); p != 0 {
+		t.Fatalf("source probability = %v, want 0", p)
+	}
+	if r := a.SourceRank(); r != 2 {
+		t.Fatalf("rank = %d, want 2 (after the one suspect)", r)
+	}
+	if h := a.PosteriorEntropy(); h != 0 {
+		t.Fatalf("entropy = %v, want 0", h)
+	}
+
+	e.roundOf(edge(0, 5)) // witness: 5 heard it from the source at t=3
+	// Weights: infector 1 at t=2 (t_min) -> 1; infector 0 at t=3 -> 1/2.
+	// Posterior: {1: 2/3, 0: 1/3}.
+	if p := a.SourceProbability(); math.Abs(p-1.0/3) > 1e-12 {
+		t.Fatalf("source probability = %v, want 1/3", p)
+	}
+	if r := a.SourceRank(); r != 2 {
+		t.Fatalf("rank = %d, want 2", r)
+	}
+	wantH := -(2.0/3*math.Log2(2.0/3) + 1.0/3*math.Log2(1.0/3))
+	if h := a.PosteriorEntropy(); math.Abs(h-wantH) > 1e-12 {
+		t.Fatalf("entropy = %v, want %v", h, wantH)
+	}
+	if fs := a.Findings(); !hasRule(fs, "source-hidden", SevInfo) {
+		t.Fatalf("expected source-hidden info, got %v", fs)
+	}
+}
+
+func TestAnonymityDeanonymization(t *testing.T) {
+	a := NewAnonymity(0, []int{1})
+	e := newEmitter(4, a)
+	e.roundOf(edge(0, 1)) // the observer hears it straight from the source
+	if p := a.SourceProbability(); p != 1 {
+		t.Fatalf("source probability = %v, want 1", p)
+	}
+	if r := a.SourceRank(); r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	if h := a.PosteriorEntropy(); h != 0 {
+		t.Fatalf("entropy = %v, want 0", h)
+	}
+	if fs := a.Findings(); !hasRule(fs, "source-exposed", SevCritical) {
+		t.Fatalf("expected source-exposed critical, got %v", fs)
+	}
+}
+
+func TestAnonymityCascadeWithinRound(t *testing.T) {
+	a := NewAnonymity(0, nil)
+	e := newEmitter(6, a)
+	// Commit order lets the rumor hop twice in one round; the disjoint
+	// edge stays uninfected until it touches the cascade.
+	e.roundOf(edge(0, 1), edge(1, 2), edge(4, 5))
+	if got := a.InfectedCount(); got != 3 {
+		t.Fatalf("infected = %d, want 3 (cascade 0-1-2, island 4-5 clean)", got)
+	}
+	e.roundOf(edge(2, 4))
+	if got := a.InfectedCount(); got != 4 {
+		t.Fatalf("infected = %d, want 4 (4 hears it, 5 does not retroactively)", got)
+	}
+}
+
+func TestAnonymitySourceInCoalition(t *testing.T) {
+	// The source's own infection yields no witness even as an observer.
+	a := NewAnonymity(2, []int{2})
+	e := newEmitter(4, a)
+	e.roundOf(edge(2, 3))
+	if got := a.Witnesses(); got != 0 {
+		t.Fatalf("witnesses = %d, want 0", got)
+	}
+	if got := a.InfectedCount(); got != 2 {
+		t.Fatalf("infected = %d, want 2", got)
+	}
+}

@@ -65,9 +65,17 @@ type Pull struct{}
 func (Pull) Name() string { return "pull" }
 
 // Act implements Process.
-func (Pull) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+func (p Pull) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int)) {
+	p.ActRelay(g, u, r, relayAll, propose)
+}
+
+// ActRelay implements RelayProcess: the two-hop walk with a liveness gate
+// on the relay v. A refused relay never answers — the walk ends there,
+// without drawing the second hop (the CrashedPull semantics, available to
+// any behavior chain via Behavior.Relay).
+func (Pull) ActRelay(g *graph.Undirected, u int, r *rng.Rand, relay func(v int) bool, propose func(a, b int)) {
 	v := g.RandomNeighbor(u, r)
-	if v < 0 {
+	if v < 0 || !relay(v) {
 		return
 	}
 	w := g.RandomNeighbor(v, r)
@@ -75,6 +83,10 @@ func (Pull) Act(g *graph.Undirected, u int, r *rng.Rand, propose func(a, b int))
 		propose(u, w)
 	}
 }
+
+// relayAll is the ungated relay: every middle hop answers. Package-level so
+// the un-wrapped walks pay no per-call closure.
+func relayAll(int) bool { return true }
 
 // DirectedTwoHop is the two-hop walk on directed graphs (Section 5): each
 // round every node u takes a two-hop directed random walk u → v → w
@@ -87,9 +99,15 @@ type DirectedTwoHop struct{}
 func (DirectedTwoHop) Name() string { return "directed-two-hop" }
 
 // Act implements DirectedProcess.
-func (DirectedTwoHop) Act(g *graph.Directed, u int, r *rng.Rand, propose func(a, b int)) {
+func (p DirectedTwoHop) Act(g *graph.Directed, u int, r *rng.Rand, propose func(a, b int)) {
+	p.ActRelay(g, u, r, relayAll, propose)
+}
+
+// ActRelay implements DirectedRelayProcess: the directed walk with a
+// liveness gate on the middle node v.
+func (DirectedTwoHop) ActRelay(g *graph.Directed, u int, r *rng.Rand, relay func(v int) bool, propose func(a, b int)) {
 	v := g.RandomOutNeighbor(u, r)
-	if v < 0 {
+	if v < 0 || !relay(v) {
 		return
 	}
 	w := g.RandomOutNeighbor(v, r)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// refParseRoleSpec is an independently structured reference parser for the
+// role-spec grammar (index-based scanning instead of the production parser's
+// Cut pipeline). FuzzRoleSpec cross-checks parseRoleEntries against it: both
+// must agree on accept/reject and, when accepting, on the parsed entries.
+func refParseRoleSpec(spec string) ([]roleEntry, bool) {
+	var out []roleEntry
+	haveDefault := false
+	quantified := map[string]bool{}
+	for _, raw := range strings.Split(spec, ",") {
+		seg := strings.TrimSpace(raw)
+		if seg == "" {
+			return nil, false
+		}
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 {
+			if !KnownRole(seg) || haveDefault {
+				return nil, false
+			}
+			haveDefault = true
+			out = append(out, roleEntry{name: seg, def: true, lo: -1, hi: -1})
+			continue
+		}
+		name := strings.TrimSpace(seg[:eq])
+		if !KnownRole(name) || quantified[name] {
+			return nil, false
+		}
+		quantified[name] = true
+		e := roleEntry{name: name, count: -1, lo: -1, hi: -1}
+		rest := seg[eq+1:]
+		quant := rest
+		if colon := strings.IndexByte(rest, ':'); colon >= 0 {
+			quant = rest[:colon]
+			rng := strings.TrimSpace(rest[colon+1:])
+			parts := strings.SplitN(rng, "-", 2)
+			lo, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return nil, false
+			}
+			hi := lo
+			if len(parts) == 2 {
+				hi, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+				if err != nil {
+					return nil, false
+				}
+			}
+			if lo < 0 || hi < lo {
+				return nil, false
+			}
+			e.lo, e.hi = lo, hi
+		}
+		quant = strings.TrimSpace(quant)
+		if strings.HasSuffix(quant, "%") {
+			pct, err := strconv.ParseFloat(strings.TrimSpace(quant[:len(quant)-1]), 64)
+			if err != nil || !(pct >= 0 && pct <= 100) {
+				return nil, false
+			}
+			e.pct = pct
+		} else {
+			k, err := strconv.Atoi(quant)
+			if err != nil || k < 0 {
+				return nil, false
+			}
+			e.count = k
+		}
+		out = append(out, e)
+	}
+	return out, true
+}
+
+func FuzzRoleSpec(f *testing.F) {
+	f.Add("honest,byzantine=5%,selfish=10:0-99")
+	f.Add("")
+	f.Add("silent")
+	f.Add("eavesdropper=8")
+	f.Add("byzantine=25%:0-499,selfish=3:7")
+	f.Add(" honest , byzantine = 5 % : 0 - 9 ")
+	f.Add("honest,honest")
+	f.Add("byzantine=5%,byzantine=2")
+	f.Add("wizard=1")
+	f.Add("byzantine=101%")
+	f.Add("byzantine=-1")
+	f.Add("byzantine=1:9-2")
+	f.Add("byzantine=1:a-b")
+	f.Add("byzantine=")
+	f.Add(",")
+	f.Add("byzantine=1:")
+	f.Add("selfish=1e1%")
+	f.Add("silent=+3:0-0")
+	f.Fuzz(func(t *testing.T, spec string) {
+		got, err := parseRoleEntries(spec)
+		want, ok := refParseRoleSpec(spec)
+		if (err == nil) != ok {
+			t.Fatalf("parsers disagree on %q: err=%v ref-ok=%v", spec, err, ok)
+		}
+		if err == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("parsers disagree on %q:\n prod %+v\n ref  %+v", spec, got, want)
+		}
+		// ValidateRoleSpec must match parseRoleEntries except on the empty
+		// spec, which it alone accepts.
+		verr := ValidateRoleSpec(spec)
+		if spec == "" {
+			if verr != nil {
+				t.Fatalf("ValidateRoleSpec(%q) = %v", spec, verr)
+			}
+		} else if (verr == nil) != (err == nil) {
+			t.Fatalf("ValidateRoleSpec(%q) = %v but parse err = %v", spec, verr, err)
+		}
+		// Accepted specs must resolve or fail cleanly (no panics) at any n.
+		if err == nil {
+			for _, n := range []int{0, 1, 7, 100} {
+				if pop, perr := ParseRoleSpec(spec, n, nil); perr == nil && pop.N() != n {
+					t.Fatalf("ParseRoleSpec(%q, %d) sized %d", spec, n, pop.N())
+				}
+			}
+		}
+	})
+}

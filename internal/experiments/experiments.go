@@ -52,6 +52,10 @@ type Config struct {
 	// eventsim.ParseRateSpec) adding a custom-population table to E20,
 	// resolved against the sweep's largest problem size.
 	RateSpec string
+	// RoleSpec, when non-empty, is a role spec (see core.ParseRoleSpec)
+	// adding a custom-population table to E21, resolved against the
+	// sweep's largest problem size over a push base.
+	RoleSpec string
 }
 
 // scheds resolves Config.Sched into per-runtime switches.

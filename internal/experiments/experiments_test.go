@@ -7,10 +7,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) < 20 {
-		t.Fatalf("expected at least 20 experiments, have %d", len(all))
+	if len(all) < 22 {
+		t.Fatalf("expected at least 22 experiments, have %d", len(all))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"}
 	for i, id := range want {
 		if all[i].ID != id {
 			t.Fatalf("experiment %d is %s want %s", i, all[i].ID, id)

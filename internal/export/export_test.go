@@ -92,6 +92,35 @@ func TestPrometheusEventKindsGolden(t *testing.T) {
 	compareGolden(t, "prometheus_events.golden", b.String())
 }
 
+// TestPrometheusAnonymityGolden pins the gossip_anonymity_* gauges from a
+// deterministic run of a role-based population: three eavesdroppers watch
+// a rumor entering at node 0, and the exposition captures the coalition's
+// posterior at convergence.
+func TestPrometheusAnonymityGolden(t *testing.T) {
+	pop, err := core.ParseRoleSpec("eavesdropper=3", 12, core.Push{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := analyze.NewAnonymity(0, pop.Nodes("eavesdropper"))
+	exp := NewPrometheus()
+	exp.AttachAnonymity(anon)
+	exp.BridgeFindings(anon)
+	s := sim.NewSession(gen.Path(12), pop, rng.New(5), sim.Config{})
+	s.Subscribe(anon)
+	s.Subscribe(exp)
+	if res := s.Run(); !res.Converged {
+		t.Fatalf("session did not converge: %+v", res)
+	}
+	if anon.Witnesses() == 0 {
+		t.Fatal("converged run produced no coalition witnesses")
+	}
+	var b strings.Builder
+	if _, err := exp.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "prometheus_anonymity.golden", b.String())
+}
+
 func TestPrometheusServeHTTP(t *testing.T) {
 	exp := NewPrometheus()
 	var bus stream.Bus

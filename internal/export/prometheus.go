@@ -150,6 +150,26 @@ func (p *Prometheus) Attach(h *analyze.Health) {
 	p.BridgeFindings(h)
 }
 
+// AttachAnonymity wires the source-anonymity gauges of the adversarial
+// pack: the observer coalition's posterior statistics over the rumor's
+// entry node, evaluated at scrape time.
+func (p *Prometheus) AttachAnonymity(a *analyze.Anonymity) {
+	p.Gauge("gossip_anonymity_entropy_bits", "Shannon entropy of the coalition's posterior over rumor entry nodes.", a.PosteriorEntropy)
+	p.Gauge("gossip_anonymity_source_probability", "Posterior mass the coalition places on the true source.", a.SourceProbability)
+	p.Gauge("gossip_anonymity_source_rank", "True source's 1-based rank among the coalition's suspects.", func() float64 {
+		return float64(a.SourceRank())
+	})
+	p.Gauge("gossip_anonymity_witnesses", "Coalition infections observed.", func() float64 {
+		return float64(a.Witnesses())
+	})
+	p.Gauge("gossip_anonymity_infected", "Nodes that know the rumor.", func() float64 {
+		return float64(a.InfectedCount())
+	})
+	p.Gauge("gossip_anonymity_coalition", "Observer coalition size.", func() float64 {
+		return float64(a.CoalitionSize())
+	})
+}
+
 // fmtFloat renders a float the way Prometheus clients expect.
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
